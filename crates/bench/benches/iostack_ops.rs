@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the functional I/O stacks: put/get throughput
+//! and crash-recovery cost for the NOVA-like filesystem and the
+//! NVStream-like store over the simulated PMEM region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmemflow_iostack::{NovaFs, NvStore, ObjectStore};
+use pmemflow_pmem::{InterleaveGeometry, PmemRegion};
+
+fn region(len: usize) -> PmemRegion {
+    PmemRegion::new(
+        len,
+        InterleaveGeometry {
+            dimms: 6,
+            chunk_bytes: 4096,
+        },
+    )
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put");
+    group.sample_size(10);
+    for &size in &[2048usize, 64 * 1024, 1 << 20] {
+        let payload = vec![0x5au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("nvstream", size), &payload, |b, p| {
+            b.iter_batched(
+                || NvStore::format(region(64 << 20)).unwrap(),
+                |mut s| {
+                    for v in 1..=16u64 {
+                        s.put("bench", v, p).unwrap();
+                    }
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("nova", size), &payload, |b, p| {
+            b.iter_batched(
+                || NovaFs::format(region(64 << 20), 16, 1 << 20).unwrap(),
+                |mut s| {
+                    for v in 1..=16u64 {
+                        s.put("bench", v, p).unwrap();
+                    }
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let payload = vec![0xa5u8; 64 * 1024];
+    let mut nvs = NvStore::format(region(16 << 20)).unwrap();
+    let mut nova = NovaFs::format(region(16 << 20), 16, 1 << 20).unwrap();
+    for v in 1..=8u64 {
+        nvs.put("bench", v, &payload).unwrap();
+        nova.put("bench", v, &payload).unwrap();
+    }
+    let mut group = c.benchmark_group("get-64KiB");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("nvstream", |b| {
+        b.iter(|| nvs.get("bench", 5).unwrap());
+    });
+    group.bench_function("nova", |b| {
+        b.iter(|| nova.get("bench", 5).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery-256-objects");
+    group.sample_size(10);
+    group.bench_function("nvstream", |b| {
+        b.iter_batched(
+            || {
+                let mut s = NvStore::format(region(32 << 20)).unwrap();
+                for v in 1..=256u64 {
+                    s.put("stream", v, &vec![1u8; 4096]).unwrap();
+                }
+                let mut r = s.into_region();
+                r.crash();
+                r
+            },
+            |r| NvStore::recover(r).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("nova", |b| {
+        b.iter_batched(
+            || {
+                let mut s = NovaFs::format(region(32 << 20), 16, 1 << 20).unwrap();
+                for v in 1..=256u64 {
+                    s.put("stream", v, &vec![1u8; 4096]).unwrap();
+                }
+                let mut r = s.into_region();
+                r.crash();
+                r
+            },
+            |r| NovaFs::recover(r).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_recovery);
+criterion_main!(benches);

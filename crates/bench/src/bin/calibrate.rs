@@ -1,0 +1,11 @@
+//! Calibration harness: run the 18-workload suite and compare model
+//! winners against the paper's Table II.
+
+use pmemflow_bench::{run_suite, suite_table};
+use pmemflow_core::ExecutionParams;
+
+fn main() {
+    let params = ExecutionParams::default();
+    let results = run_suite(&params);
+    print!("{}", suite_table(&results));
+}

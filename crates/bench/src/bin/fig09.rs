@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 09 panels (runtime of the
+//! workload family under all four Table I configurations at 8/16/24
+//! ranks, serial runs split into writer/reader phases).
+
+use pmemflow_bench::figure_for_family;
+use pmemflow_core::ExecutionParams;
+use pmemflow_workloads::Family;
+
+fn main() {
+    print!("{}", figure_for_family(Family::MiniAmrMatMul, &ExecutionParams::default()));
+}

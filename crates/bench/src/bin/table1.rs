@@ -1,0 +1,19 @@
+//! Regenerate the paper's Table I: the scheduler configuration space.
+
+use pmemflow_core::{ExecMode, SchedConfig};
+
+fn main() {
+    println!("TABLE I: Summary of configurations\n");
+    println!("{:<14} {:<16} Placement", "Config label", "Execution Mode");
+    for config in SchedConfig::ALL {
+        let mode = match config.mode {
+            ExecMode::Serial => "Serial",
+            ExecMode::Parallel => "Parallel",
+        };
+        let placement = match config.placement {
+            pmemflow_core::Placement::LocW => "local-write-remote-read",
+            pmemflow_core::Placement::LocR => "remote-write-local-read",
+        };
+        println!("{:<14} {:<16} {}", config.label(), mode, placement);
+    }
+}

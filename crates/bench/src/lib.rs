@@ -1,0 +1,103 @@
+//! # pmemflow-bench — benchmark and figure-regeneration harness
+//!
+//! One binary per paper table/figure (see `src/bin/`), plus Criterion
+//! microbenchmarks of the substrates (see `benches/`). This library holds
+//! the shared harness: sweeping the 18-workload suite and formatting
+//! results next to the paper's claims.
+
+#![warn(missing_docs)]
+
+use pmemflow_core::report::panel_table;
+use pmemflow_core::{sweep, ConfigSweep, ExecutionParams, SchedConfig};
+use pmemflow_workloads::{paper_suite, Family, SuiteEntry};
+
+/// A suite entry together with its measured sweep.
+pub struct SuiteResult {
+    /// The workload and the paper's finding.
+    pub entry: SuiteEntry,
+    /// Measured results under all four configurations.
+    pub sweep: ConfigSweep,
+}
+
+impl SuiteResult {
+    /// The configuration the model found fastest.
+    pub fn model_winner(&self) -> SchedConfig {
+        self.sweep.best().config
+    }
+
+    /// The configuration the paper found fastest.
+    pub fn paper_winner(&self) -> SchedConfig {
+        SchedConfig::parse(self.entry.paper_winner).expect("suite labels are valid")
+    }
+
+    /// Whether the model reproduces the paper's winner.
+    pub fn matches_paper(&self) -> bool {
+        self.model_winner() == self.paper_winner()
+    }
+
+    /// Normalized runtime of the paper's winner under the model
+    /// (1.0 = the model agrees it is fastest).
+    pub fn paper_winner_normalized(&self) -> f64 {
+        self.sweep.normalized(self.paper_winner())
+    }
+}
+
+/// Run the full 18-workload suite under `params`.
+pub fn run_suite(params: &ExecutionParams) -> Vec<SuiteResult> {
+    paper_suite()
+        .into_iter()
+        .map(|entry| {
+            let sweep = sweep(&entry.spec, params).expect("suite workloads execute");
+            SuiteResult { entry, sweep }
+        })
+        .collect()
+}
+
+/// Format a one-line-per-workload comparison against Table II.
+pub fn suite_table(results: &[SuiteResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "panel     workload                 ranks  S-LocW    S-LocR    P-LocW    P-LocR    model    paper    ok\n",
+    );
+    for r in results {
+        let t = |c: SchedConfig| r.sweep.run(c).total;
+        out.push_str(&format!(
+            "{:<9} {:<24} {:>5}  {:>8.2}  {:>8.2}  {:>8.2}  {:>8.2}  {:<7}  {:<7}  {}\n",
+            r.entry.panel,
+            r.entry.family.name(),
+            r.entry.ranks,
+            t(SchedConfig::S_LOC_W),
+            t(SchedConfig::S_LOC_R),
+            t(SchedConfig::P_LOC_W),
+            t(SchedConfig::P_LOC_R),
+            r.model_winner().label(),
+            r.entry.paper_winner,
+            if r.matches_paper() { "yes" } else { "NO" },
+        ));
+    }
+    let agree = results.iter().filter(|r| r.matches_paper()).count();
+    out.push_str(&format!(
+        "\nagreement with Table II: {agree}/{} workloads\n",
+        results.len()
+    ));
+    out
+}
+
+/// Regenerate one figure (a workload family across the three concurrency
+/// levels): one panel per rank count, runtimes under all four
+/// configurations with serial runs split into writer/reader phases —
+/// the layout of the paper's Figs. 4–9.
+pub fn figure_for_family(family: Family, params: &ExecutionParams) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}: {}\n", family.figure(), family.name()));
+    for entry in paper_suite().into_iter().filter(|e| e.family == family) {
+        let sweep = sweep(&entry.spec, params).expect("suite workload executes");
+        let data_gib = entry.spec.total_bytes_written() as f64 / (1u64 << 30) as f64;
+        out.push_str(&format!(
+            "\n({}) Threads: {}, Data size: {:.0}GiB — paper winner: {}\n",
+            entry.panel, entry.ranks, data_gib, entry.paper_winner
+        ));
+        out.push_str(&panel_table(&sweep));
+    }
+    out
+}

@@ -1,0 +1,194 @@
+//! Co-scheduling multiple workflows on one node.
+//!
+//! The paper studies one workflow per node but motivates the problem with
+//! multi-tenancy (§II-A): *in situ* deployments share server resources. A
+//! scheduler placing several coupled workflows must anticipate the PMEM
+//! interference between them — this module executes any number of
+//! workflows concurrently against the shared device model and quantifies
+//! exactly that.
+//!
+//! Core-capacity accounting is enforced: every workflow's writers and
+//! readers are pinned like the single-workflow executor does, and the
+//! total rank count per socket must fit the node.
+
+use crate::config::SchedConfig;
+use crate::executor::{ExecError, ExecutionParams};
+use crate::metrics::RunMetrics;
+use pmemflow_platform::{PinError, SocketId};
+use pmemflow_workloads::WorkflowSpec;
+
+/// One tenant: a workflow and the configuration it runs under.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// The workflow.
+    pub spec: WorkflowSpec,
+    /// Its scheduling configuration.
+    pub config: SchedConfig,
+}
+
+/// Result of a co-scheduled execution.
+#[derive(Debug, Clone)]
+pub struct CoScheduleOutcome {
+    /// Per-tenant metrics, in input order (totals measured from t = 0 to
+    /// that tenant's completion).
+    pub tenants: Vec<RunMetrics>,
+    /// Time until every tenant finished.
+    pub makespan: f64,
+    /// Per-tenant slowdown versus running alone on the node
+    /// (`coscheduled_total / solo_total`, ≥ ~1).
+    pub interference: Vec<f64>,
+}
+
+/// Execute all `tenants` concurrently on one node, sharing the PMEM
+/// device. Returns per-tenant metrics plus interference factors.
+pub fn execute_coscheduled(
+    tenants: &[Tenant],
+    params: &ExecutionParams,
+) -> Result<CoScheduleOutcome, ExecError> {
+    if tenants.is_empty() {
+        return Err(ExecError::Spec("no tenants".into()));
+    }
+    // Capacity check: ranks per socket across tenants.
+    let mut per_socket = [0usize; 2];
+    for t in tenants {
+        t.spec.validate().map_err(ExecError::Spec)?;
+        let writer_socket = match t.config.placement {
+            crate::config::Placement::LocW => SocketId(0),
+            crate::config::Placement::LocR => SocketId(1),
+        };
+        per_socket[writer_socket.0] += t.spec.ranks;
+        per_socket[writer_socket.peer().0] += t.spec.ranks;
+    }
+    let cores = params.node.cores_per_socket();
+    for (s, &used) in per_socket.iter().enumerate() {
+        if used > cores {
+            return Err(ExecError::Pin(PinError::NotEnoughCores {
+                requested: used,
+                available: cores,
+                socket: SocketId(s),
+            }));
+        }
+    }
+
+    // Solo baselines for the interference factors.
+    let mut solo = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        solo.push(crate::executor::execute(&t.spec, t.config, params)?.total);
+    }
+
+    let metrics = crate::executor::execute_many(tenants, params)?;
+    let makespan = metrics
+        .iter()
+        .map(|m| m.total)
+        .fold(0.0f64, f64::max);
+    let interference = metrics
+        .iter()
+        .zip(solo.iter())
+        .map(|(m, s)| m.total / s)
+        .collect();
+    Ok(CoScheduleOutcome {
+        tenants: metrics,
+        makespan,
+        interference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemflow_workloads::{micro_2kb, micro_64mb};
+
+    fn params() -> ExecutionParams {
+        ExecutionParams::default()
+    }
+
+    #[test]
+    fn two_tenants_interfere_but_progress() {
+        let tenants = vec![
+            Tenant {
+                spec: micro_64mb(8),
+                config: SchedConfig::S_LOC_W,
+            },
+            Tenant {
+                spec: micro_2kb(8),
+                config: SchedConfig::P_LOC_R,
+            },
+        ];
+        let out = execute_coscheduled(&tenants, &params()).unwrap();
+        assert_eq!(out.tenants.len(), 2);
+        // Interference: each at least as slow as solo, but co-scheduling
+        // must beat running them back to back.
+        for i in &out.interference {
+            assert!(*i >= 0.99, "interference {i}");
+        }
+        let serial_stack: f64 = out
+            .tenants
+            .iter()
+            .zip(out.interference.iter())
+            .map(|(m, i)| m.total / i) // solo totals
+            .sum();
+        assert!(
+            out.makespan < serial_stack,
+            "co-scheduling ({}) must beat serial stacking ({serial_stack})",
+            out.makespan
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_tenants_slow_each_other() {
+        let tenants = vec![
+            Tenant {
+                spec: micro_64mb(8),
+                config: SchedConfig::S_LOC_W,
+            },
+            Tenant {
+                spec: micro_64mb(8),
+                config: SchedConfig::S_LOC_W,
+            },
+        ];
+        let out = execute_coscheduled(&tenants, &params()).unwrap();
+        // Two identical bandwidth-bound tenants: strong interference.
+        for i in &out.interference {
+            assert!(*i > 1.3, "expected >30% slowdown, got {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let tenants = vec![
+            Tenant {
+                spec: micro_64mb(16),
+                config: SchedConfig::S_LOC_W,
+            },
+            Tenant {
+                spec: micro_64mb(16),
+                config: SchedConfig::S_LOC_W,
+            },
+        ];
+        // 32 ranks per socket on a 28-core socket: must be rejected.
+        assert!(matches!(
+            execute_coscheduled(&tenants, &params()),
+            Err(ExecError::Pin(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tenant_list_rejected() {
+        assert!(matches!(
+            execute_coscheduled(&[], &params()),
+            Err(ExecError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn single_tenant_matches_solo_execution() {
+        let t = Tenant {
+            spec: micro_2kb(8),
+            config: SchedConfig::P_LOC_R,
+        };
+        let solo = crate::executor::execute(&t.spec, t.config, &params()).unwrap();
+        let out = execute_coscheduled(std::slice::from_ref(&t), &params()).unwrap();
+        assert!((out.tenants[0].total - solo.total).abs() < 1e-9);
+        assert!((out.interference[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,56 @@
+//! Invariants of sweeps and metrics that must hold for every workload.
+
+use pmemflow_core::{sweep, ExecMode, ExecutionParams, SchedConfig};
+use pmemflow_workloads::{micro_2kb, micro_64mb, miniamr_matmul};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any suite-like workload: totals positive, normalized ≥ 1,
+    /// serial splits add up, byte accounting matches the spec.
+    #[test]
+    fn sweep_invariants(ranks in 1usize..24, which in 0usize..3) {
+        let spec = match which {
+            0 => micro_64mb(ranks),
+            1 => micro_2kb(ranks),
+            _ => miniamr_matmul(ranks),
+        };
+        let sw = sweep(&spec, &ExecutionParams::default()).unwrap();
+        let expect_bytes = spec.total_bytes_written() as f64;
+        for run in &sw.runs {
+            prop_assert!(run.total > 0.0);
+            prop_assert!(sw.normalized(run.config) >= 1.0 - 1e-12);
+            prop_assert!((run.writer.bytes - expect_bytes).abs() / expect_bytes < 1e-6);
+            prop_assert!((run.reader.bytes - expect_bytes).abs() / expect_bytes < 1e-6);
+            if run.config.mode == ExecMode::Serial {
+                let (w, r) = run.serial_split();
+                prop_assert!((w + r - run.total).abs() < 1e-6);
+                // In serial mode the reader can't finish before the writer.
+                prop_assert!(run.reader.finish_time >= run.writer.finish_time);
+            }
+            prop_assert!(run.throughput() > 0.0);
+        }
+        // Exactly one best config, and it's in the run list.
+        prop_assert!(SchedConfig::ALL.contains(&sw.best().config));
+        prop_assert!(sw.worst().total >= sw.best().total);
+    }
+
+    /// Misconfiguration loss is scale-free: doubling iterations leaves
+    /// normalized ratios roughly unchanged (steady-state pipeline).
+    #[test]
+    fn normalized_ratios_stable_in_iterations(ranks in 2usize..16) {
+        let mut short = micro_64mb(ranks);
+        short.iterations = 5;
+        let mut long = micro_64mb(ranks);
+        long.iterations = 15;
+        let params = ExecutionParams::default();
+        let a = sweep(&short, &params).unwrap();
+        let b = sweep(&long, &params).unwrap();
+        for config in SchedConfig::ALL {
+            let ra = a.normalized(config);
+            let rb = b.normalized(config);
+            prop_assert!((ra - rb).abs() < 0.2, "{config}: {ra} vs {rb}");
+        }
+    }
+}

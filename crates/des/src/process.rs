@@ -1,0 +1,145 @@
+//! Processes: the actors of the simulation.
+//!
+//! A process models one execution context — in this system, one MPI rank of
+//! a workflow component. Processes are written as explicit state machines:
+//! the engine calls [`Process::next`] whenever the previous action completes,
+//! and the process returns the next [`Action`] to perform. This avoids any
+//! need for coroutines while keeping rank scripts (compute → I/O → publish →
+//! repeat) easy to express.
+
+use crate::flow::FlowAttrs;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a process within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub usize);
+
+/// Identifier of a fluid resource (e.g. one PMEM device) within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Identifier of a version channel used for writer/reader synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+/// What a process asks the engine to do next.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Spend `0` seconds of pure CPU time (a compute phase). The engine
+    /// assumes ranks are pinned 1:1 to cores, so compute never contends.
+    Compute(SimDuration),
+    /// Move bytes through a fluid resource. Completes when all bytes have
+    /// been transferred at the allocator-assigned (time-varying) rate.
+    Io {
+        /// Which resource carries the flow.
+        resource: ResourceId,
+        /// Total bytes to move (object payloads of one I/O phase or batch).
+        bytes: f64,
+        /// Flow attributes used by the rate allocator.
+        attrs: FlowAttrs,
+    },
+    /// Park until `version` (or later) has been published on `channel`.
+    /// Completes immediately if it already has been.
+    WaitVersion {
+        /// Channel to watch.
+        channel: ChannelId,
+        /// Minimum version to wait for.
+        version: u64,
+    },
+    /// Publish `version` on `channel`, waking any processes waiting for it
+    /// or an earlier version. Instantaneous.
+    Publish {
+        /// Channel to publish on.
+        channel: ChannelId,
+        /// Version number being made visible.
+        version: u64,
+    },
+    /// Record a named instant in the process's timeline (e.g. "io-start").
+    /// Instantaneous; used to split end-to-end time into phases.
+    Mark(&'static str),
+    /// The process has finished.
+    Done,
+}
+
+/// Why `Process::next` is being called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// First call after the process was spawned.
+    Start,
+    /// The previous action completed.
+    ActionDone,
+}
+
+/// A simulated actor. Implementations are state machines: each call to
+/// [`Process::next`] returns the following action. The engine guarantees
+/// `next` is called exactly once per completed action, in deterministic
+/// order.
+pub trait Process: Send {
+    /// Return the next action. `now` is the current virtual time.
+    fn next(&mut self, now: SimTime, resume: Resume) -> Action;
+
+    /// Descriptive name used in traces and per-process reports.
+    fn name(&self) -> String {
+        "proc".to_string()
+    }
+}
+
+/// A process defined by a pre-built list of actions. Convenient for tests
+/// and for simple workloads whose scripts can be fully materialized.
+pub struct ScriptProcess {
+    name: String,
+    actions: std::vec::IntoIter<Action>,
+}
+
+impl ScriptProcess {
+    /// Build from a name and an action list (executed in order).
+    pub fn new(name: impl Into<String>, actions: Vec<Action>) -> Self {
+        Self {
+            name: name.into(),
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl Process for ScriptProcess {
+    fn next(&mut self, _now: SimTime, _resume: Resume) -> Action {
+        self.actions.next().unwrap_or(Action::Done)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_process_replays_then_done() {
+        let mut p = ScriptProcess::new(
+            "w0",
+            vec![
+                Action::Compute(SimDuration(1.0)),
+                Action::Mark("io-start"),
+            ],
+        );
+        assert!(matches!(
+            p.next(SimTime::ZERO, Resume::Start),
+            Action::Compute(_)
+        ));
+        assert!(matches!(
+            p.next(SimTime::ZERO, Resume::ActionDone),
+            Action::Mark("io-start")
+        ));
+        assert!(matches!(
+            p.next(SimTime::ZERO, Resume::ActionDone),
+            Action::Done
+        ));
+        // Stays Done forever.
+        assert!(matches!(
+            p.next(SimTime::ZERO, Resume::ActionDone),
+            Action::Done
+        ));
+    }
+}

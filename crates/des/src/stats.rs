@@ -1,0 +1,174 @@
+//! Per-process and per-resource accounting collected during a run.
+
+use crate::flow::{Direction, Locality};
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Everything measured about one process over a run.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessReport {
+    /// Name supplied by the [`crate::process::Process`] implementation.
+    pub name: String,
+    /// Total virtual time spent in `Compute` actions.
+    pub compute_time: SimDuration,
+    /// Total virtual time spent with an active I/O flow (submission to
+    /// completion, software overhead included).
+    pub io_time: SimDuration,
+    /// Total bytes moved by this process's flows.
+    pub io_bytes: f64,
+    /// Total virtual time spent parked on `WaitVersion`.
+    pub wait_time: SimDuration,
+    /// Instant the process returned `Done`, if it did.
+    pub finished_at: Option<SimTime>,
+    /// Named instants recorded via `Action::Mark`, in order.
+    pub marks: Vec<(SimTime, &'static str)>,
+}
+
+impl ProcessReport {
+    /// The first mark with the given label, if any.
+    pub fn mark(&self, label: &str) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .find(|(_, l)| *l == label)
+            .map(|(t, _)| *t)
+    }
+
+    /// The last mark with the given label, if any.
+    pub fn last_mark(&self, label: &str) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .rev()
+            .find(|(_, l)| *l == label)
+            .map(|(t, _)| *t)
+    }
+}
+
+/// Traffic and occupancy accounting for one fluid resource.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceReport {
+    /// Allocator name.
+    pub name: String,
+    /// Bytes moved, keyed by flow class.
+    pub bytes_by_class: BTreeMap<(&'static str, &'static str), f64>,
+    /// Virtual time during which at least one flow was active.
+    pub busy_time: SimDuration,
+    /// Time-integral of the number of active flows (divide by the run length
+    /// for average concurrency).
+    pub concurrency_integral: f64,
+    /// Largest number of simultaneously active flows observed.
+    pub peak_concurrency: usize,
+    /// Number of flow completions.
+    pub flows_completed: u64,
+}
+
+impl ResourceReport {
+    pub(crate) fn record_interval(&mut self, dt: SimDuration, n_active: usize) {
+        if n_active > 0 {
+            self.busy_time += dt;
+            self.concurrency_integral += dt.seconds() * n_active as f64;
+        }
+    }
+
+    pub(crate) fn record_bytes(&mut self, dir: Direction, loc: Locality, bytes: f64) {
+        *self
+            .bytes_by_class
+            .entry((dir.label(), loc.label()))
+            .or_insert(0.0) += bytes;
+    }
+
+    /// Total bytes moved through the resource.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_by_class.values().sum()
+    }
+
+    /// Average concurrency while busy (0 if never busy).
+    pub fn mean_busy_concurrency(&self) -> f64 {
+        if self.busy_time.is_zero() {
+            0.0
+        } else {
+            self.concurrency_integral / self.busy_time.seconds()
+        }
+    }
+
+    /// Effective throughput while busy, bytes/second.
+    pub fn busy_throughput(&self) -> f64 {
+        if self.busy_time.is_zero() {
+            0.0
+        } else {
+            self.total_bytes() / self.busy_time.seconds()
+        }
+    }
+}
+
+/// Complete result of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Instant the last process finished (or the clock when the run stopped).
+    pub end_time: SimTime,
+    /// One report per spawned process, in spawn order.
+    pub processes: Vec<ProcessReport>,
+    /// One report per resource, in registration order.
+    pub resources: Vec<ResourceReport>,
+    /// Number of events processed (diagnostics; deterministic).
+    pub events_processed: u64,
+    /// Per-process span timelines, if requested via
+    /// [`crate::Simulation::with_timeline`].
+    pub timeline: Option<crate::trace::Timeline>,
+}
+
+impl SimReport {
+    /// Latest finish time across processes whose name passes `pred`.
+    pub fn finish_time_where(&self, pred: impl Fn(&str) -> bool) -> Option<SimTime> {
+        self.processes
+            .iter()
+            .filter(|p| pred(&p.name))
+            .filter_map(|p| p.finished_at)
+            .max()
+    }
+
+    /// Earliest mark with `label` across processes whose name passes `pred`.
+    pub fn first_mark_where(
+        &self,
+        label: &str,
+        pred: impl Fn(&str) -> bool,
+    ) -> Option<SimTime> {
+        self.processes
+            .iter()
+            .filter(|p| pred(&p.name))
+            .filter_map(|p| p.mark(label))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_report_accumulates() {
+        let mut r = ResourceReport::default();
+        r.record_interval(SimDuration(2.0), 3);
+        r.record_interval(SimDuration(1.0), 0);
+        r.record_bytes(Direction::Read, Locality::Local, 10.0);
+        r.record_bytes(Direction::Read, Locality::Local, 5.0);
+        assert_eq!(r.busy_time.seconds(), 2.0);
+        assert!((r.mean_busy_concurrency() - 3.0).abs() < 1e-12);
+        assert_eq!(r.total_bytes(), 15.0);
+        assert!((r.busy_throughput() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_report_mark_lookup() {
+        let p = ProcessReport {
+            marks: vec![
+                (SimTime(1.0), "io-start"),
+                (SimTime(2.0), "io-start"),
+                (SimTime(3.0), "done"),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.mark("io-start"), Some(SimTime(1.0)));
+        assert_eq!(p.last_mark("io-start"), Some(SimTime(2.0)));
+        assert_eq!(p.mark("missing"), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Little-endian field encoding for on-PMEM records.
+
+/// Write a `u64` in little-endian at `buf[off..off+8]`.
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u64` from `buf[off..off+8]`.
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Write a `u32` in little-endian at `buf[off..off+4]`.
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian `u32` from `buf[off..off+4]`.
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Round `n` up to a multiple of `align` (power of two not required).
+pub fn align_up(n: u64, align: u64) -> u64 {
+    assert!(align > 0);
+    n.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut b = [0u8; 16];
+        put_u64(&mut b, 3, 0xdead_beef_cafe_f00d);
+        assert_eq!(get_u64(&b, 3), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut b = [0u8; 8];
+        put_u32(&mut b, 1, 0x1234_5678);
+        assert_eq!(get_u32(&b, 1), 0x1234_5678);
+    }
+
+    #[test]
+    fn align_up_cases() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(100, 24), 120);
+    }
+}

@@ -1,0 +1,633 @@
+//! NVStream-like userspace versioned object store.
+//!
+//! A functional reimplementation of the NVStream design the paper uses as
+//! its low-overhead transport (§V; Fernando et al. HPDC'18): a log-based
+//! versioned object store living entirely in userspace. Properties
+//! reproduced here:
+//!
+//! * **Append-only ring log of immutable versions** — snapshot data is
+//!   never overwritten in place; readers address `(stream, version)`.
+//!   Streaming workflows run indefinitely, so the log is a **ring**: once
+//!   analytics has consumed a version ([`NvStore::consume`]), its space
+//!   can be reclaimed ([`NvStore::reclaim`]) and the write position wraps
+//!   around — bounded memory for unbounded streams.
+//! * **Non-temporal stores for payload** — the writer streams snapshot
+//!   bytes past the CPU cache ([`StoreMode::NonTemporal`]), maximizing
+//!   PMEM bandwidth and avoiding cache pollution, since simulations never
+//!   read their own output back.
+//! * **Two-step commit** — payload and entry header become durable with
+//!   one fence, then the 8-byte logical tail advances (atomic on x86). A
+//!   crash between the two leaves the entry invisible but the store
+//!   consistent; the same discipline covers head advances on reclaim.
+//!
+//! The on-PMEM layout:
+//!
+//! ```text
+//! [ header 64 B | ring log ........................................... ]
+//! entry = [ 40 B header | stream name | payload ] padded to 64 B
+//! ```
+//!
+//! `head` and `tail` are *logical* (monotonically increasing) positions;
+//! physical offsets are `LOG_START + logical % ring_len`. An entry never
+//! straddles the physical end of the ring — a `PAD` record fills the gap.
+
+use crate::codec::{align_up, get_u32, get_u64, put_u32, put_u64};
+use crate::cost::StackKind;
+use crate::hash::fnv1a_multi;
+use crate::store::{CrashPoint, ObjectStore, StoreError};
+use pmemflow_pmem::{PmemRegion, StoreMode};
+use std::collections::BTreeMap;
+
+const HEADER_MAGIC: u64 = 0x4e56_5354_5245_414d; // "NVSTREAM"
+const ENTRY_MAGIC: u64 = 0x4e56_5345_4e54_5259; // "NVSENTRY"
+const PAD_MAGIC: u64 = 0x4e56_5350_4144_5f5f; // "NVSPAD__"
+const HEADER_BYTES: u64 = 64;
+const ENTRY_HEADER_BYTES: u64 = 40;
+const MAX_NAME: usize = 4096;
+
+const HDR_OFF_MAGIC: usize = 0;
+const HDR_OFF_TAIL: usize = 8;
+const HDR_OFF_HEAD: usize = 16;
+
+/// The NVStream-like store. Owns its backing region.
+pub struct NvStore {
+    region: PmemRegion,
+    /// Logical write position (monotone).
+    tail: u64,
+    /// Logical reclaim position (monotone, ≤ tail).
+    head: u64,
+    /// (stream, version) → (logical payload position, length, checksum).
+    index: BTreeMap<(String, u64), (u64, u32, u64)>,
+    /// Oldest logical entry position per live (stream, version), used by
+    /// reclaim to know when the head may pass an entry.
+    entries: BTreeMap<u64, (String, u64, u64)>, // logical pos → (stream, version, end)
+    /// stream → highest consumed version (reclaim may pass entries with
+    /// version ≤ this).
+    consumed: BTreeMap<String, u64>,
+}
+
+impl NvStore {
+    fn ring_len(&self) -> u64 {
+        self.region.len() as u64 - HEADER_BYTES
+    }
+
+
+    /// Format a fresh store over `region`.
+    pub fn format(mut region: PmemRegion) -> Result<NvStore, StoreError> {
+        if (region.len() as u64) < HEADER_BYTES + 256 {
+            return Err(StoreError::Invalid("region too small".into()));
+        }
+        let mut hdr = [0u8; HEADER_BYTES as usize];
+        put_u64(&mut hdr, HDR_OFF_MAGIC, HEADER_MAGIC);
+        put_u64(&mut hdr, HDR_OFF_TAIL, 0);
+        put_u64(&mut hdr, HDR_OFF_HEAD, 0);
+        region.write(0, &hdr, StoreMode::Cached);
+        region.persist(0, HEADER_BYTES);
+        Ok(NvStore {
+            region,
+            tail: 0,
+            head: 0,
+            index: BTreeMap::new(),
+            entries: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+        })
+    }
+
+    /// Mount an existing store, rebuilding the index by scanning the ring
+    /// from the persisted head to the persisted tail. Crash-recovery path.
+    pub fn recover(mut region: PmemRegion) -> Result<NvStore, StoreError> {
+        let mut hdr = [0u8; HEADER_BYTES as usize];
+        region.read(0, &mut hdr);
+        if get_u64(&hdr, HDR_OFF_MAGIC) != HEADER_MAGIC {
+            return Err(StoreError::Corrupt("bad NVStream header magic".into()));
+        }
+        let tail = get_u64(&hdr, HDR_OFF_TAIL);
+        let head = get_u64(&hdr, HDR_OFF_HEAD);
+        let mut store = NvStore {
+            region,
+            tail,
+            head,
+            index: BTreeMap::new(),
+            entries: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+        };
+        if head > tail || tail - head > store.ring_len() {
+            return Err(StoreError::Corrupt(format!(
+                "inconsistent ring pointers head={head} tail={tail}"
+            )));
+        }
+        let mut pos = head;
+        while pos < tail {
+            let mut eh = [0u8; ENTRY_HEADER_BYTES as usize];
+            store.read_ring(pos, &mut eh);
+            let magic = get_u64(&eh, 0);
+            if magic == PAD_MAGIC {
+                let pad = get_u64(&eh, 8);
+                pos += pad;
+                continue;
+            }
+            if magic != ENTRY_MAGIC {
+                return Err(StoreError::Corrupt(format!(
+                    "bad entry magic at logical {pos}"
+                )));
+            }
+            let stream_len = get_u32(&eh, 8) as u64;
+            let data_len = get_u32(&eh, 12) as u64;
+            let version = get_u64(&eh, 16);
+            let checksum = get_u64(&eh, 24);
+            let name_pos = pos + ENTRY_HEADER_BYTES;
+            let data_pos = name_pos + stream_len;
+            let end = align_up(data_pos + data_len, 64);
+            if end > tail {
+                return Err(StoreError::Corrupt(format!(
+                    "entry at {pos} extends past tail"
+                )));
+            }
+            let mut name = vec![0u8; stream_len as usize];
+            store.read_ring(name_pos, &mut name);
+            let mut data = vec![0u8; data_len as usize];
+            store.read_ring(data_pos, &mut data);
+            if fnv1a_multi(&[&name, &data]) != checksum {
+                return Err(StoreError::Corrupt(format!(
+                    "checksum mismatch for entry at logical {pos} (torn write \
+                     inside committed log)"
+                )));
+            }
+            let name = String::from_utf8(name)
+                .map_err(|_| StoreError::Corrupt(format!("non-UTF8 name at {pos}")))?;
+            store
+                .index
+                .insert((name.clone(), version), (data_pos, data_len as u32, checksum));
+            store.entries.insert(pos, (name, version, end));
+            pos = end;
+        }
+        Ok(store)
+    }
+
+    /// Ring-aware read at a logical position (handles wrap).
+    fn read_ring(&mut self, logical: u64, out: &mut [u8]) {
+        let ring = self.ring_len();
+        let start = logical % ring;
+        let first = ((ring - start) as usize).min(out.len());
+        let phys = HEADER_BYTES + start;
+        self.region.read(phys, &mut out[..first]);
+        if first < out.len() {
+            self.region.read(HEADER_BYTES, &mut out[first..]);
+        }
+    }
+
+    /// Ring-aware non-temporal write at a logical position.
+    fn write_ring(&mut self, logical: u64, data: &[u8]) {
+        let ring = self.ring_len();
+        let start = logical % ring;
+        let first = ((ring - start) as usize).min(data.len());
+        let phys = HEADER_BYTES + start;
+        self.region.write(phys, &data[..first], StoreMode::NonTemporal);
+        if first < data.len() {
+            self.region
+                .write(HEADER_BYTES, &data[first..], StoreMode::NonTemporal);
+        }
+    }
+
+    fn persist_pointer(&mut self, offset: usize, value: u64) {
+        let mut b = [0u8; 8];
+        put_u64(&mut b, 0, value);
+        self.region.write(offset as u64, &b, StoreMode::Cached);
+        self.region.persist(offset as u64, 8);
+    }
+
+    /// `put` with a crash injected at `crash` (testing API; see
+    /// [`CrashPoint`]). With `CrashPoint::None` this is exactly
+    /// [`ObjectStore::put`].
+    pub fn put_with_crash(
+        &mut self,
+        stream: &str,
+        version: u64,
+        data: &[u8],
+        crash: CrashPoint,
+    ) -> Result<(), StoreError> {
+        if stream.is_empty() || stream.len() > MAX_NAME {
+            return Err(StoreError::Invalid("stream name empty or too long".into()));
+        }
+        if data.is_empty() {
+            return Err(StoreError::Invalid("zero-length object".into()));
+        }
+        if let Some(latest) = self.latest(stream) {
+            if version <= latest {
+                return Err(StoreError::Invalid(format!(
+                    "version {version} not after latest {latest}"
+                )));
+            }
+        }
+        let name = stream.as_bytes();
+        let body = ENTRY_HEADER_BYTES + name.len() as u64 + data.len() as u64;
+        let need = align_up(body, 64);
+        let ring = self.ring_len();
+        if need > ring {
+            return Err(StoreError::OutOfSpace);
+        }
+
+        // Avoid straddling the physical ring end: pad to the wrap point if
+        // the entry would cross it.
+        let mut start = self.tail;
+        let until_wrap = ring - start % ring;
+        let mut pad = 0u64;
+        if need > until_wrap {
+            pad = until_wrap;
+        }
+        if start + pad + need > self.head + ring {
+            return Err(StoreError::OutOfSpace);
+        }
+        if pad > 0 {
+            // A PAD record needs at least a header; if the residue is too
+            // small to hold one, the recovery scan could not parse it, so
+            // reject only in the (impossible by alignment) degenerate case.
+            debug_assert!(pad >= ENTRY_HEADER_BYTES, "pad residue {pad} too small");
+            let mut ph = [0u8; ENTRY_HEADER_BYTES as usize];
+            put_u64(&mut ph, 0, PAD_MAGIC);
+            put_u64(&mut ph, 8, pad);
+            self.write_ring(start, &ph);
+            start += pad;
+        }
+
+        let checksum = fnv1a_multi(&[name, data]);
+        let mut eh = [0u8; ENTRY_HEADER_BYTES as usize];
+        put_u64(&mut eh, 0, ENTRY_MAGIC);
+        put_u32(&mut eh, 8, name.len() as u32);
+        put_u32(&mut eh, 12, data.len() as u32);
+        put_u64(&mut eh, 16, version);
+        put_u64(&mut eh, 24, checksum);
+        // Phase 1: stream the entry (header, name, payload).
+        self.write_ring(start, &eh);
+        self.write_ring(start + ENTRY_HEADER_BYTES, name);
+        let data_pos = start + ENTRY_HEADER_BYTES + name.len() as u64;
+        self.write_ring(data_pos, data);
+        if crash == CrashPoint::AfterDataWrite {
+            return Ok(()); // no fence: nothing guaranteed durable
+        }
+        self.region.fence();
+        if crash == CrashPoint::AfterDataPersist || crash == CrashPoint::AfterLogRecord {
+            return Ok(()); // entry durable but tail still points before it
+        }
+        // Phase 2: advance the logical tail (8-byte update, atomic).
+        let end = start + align_up(ENTRY_HEADER_BYTES + name.len() as u64 + data.len() as u64, 64);
+        self.persist_pointer(HDR_OFF_TAIL, end);
+        self.tail = end;
+        self.index
+            .insert((stream.to_string(), version), (data_pos, data.len() as u32, checksum));
+        self.entries
+            .insert(start, (stream.to_string(), version, end));
+        Ok(())
+    }
+
+    /// Read `len` bytes of `version` of `stream` starting at byte
+    /// `offset` — partial reads are how analytics kernels fetch individual
+    /// fields of a snapshot object.
+    pub fn get_range(
+        &mut self,
+        stream: &str,
+        version: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, StoreError> {
+        let key = (stream.to_string(), version);
+        let Some(&(pos, total, _)) = self.index.get(&key) else {
+            return self.missing(stream, version);
+        };
+        if offset + len as u64 > total as u64 {
+            return Err(StoreError::Invalid(format!(
+                "range [{offset}, +{len}) outside object of {total} bytes"
+            )));
+        }
+        let mut out = vec![0u8; len];
+        self.read_ring(pos + offset, &mut out);
+        Ok(out)
+    }
+
+    fn missing(&self, stream: &str, version: u64) -> Result<Vec<u8>, StoreError> {
+        if self.index.keys().any(|(s, _)| s == stream) {
+            Err(StoreError::UnknownVersion {
+                stream: stream.to_string(),
+                version,
+            })
+        } else {
+            Err(StoreError::UnknownStream(stream.to_string()))
+        }
+    }
+
+    /// Mark `version` (and everything older) of `stream` as consumed by
+    /// the analytics side; consumed versions may be reclaimed.
+    pub fn consume(&mut self, stream: &str, version: u64) {
+        let e = self.consumed.entry(stream.to_string()).or_insert(0);
+        *e = (*e).max(version);
+    }
+
+    /// Advance the ring head past entries whose version has been consumed,
+    /// returning the number of bytes reclaimed. The head only moves over a
+    /// contiguous consumed prefix (it is a ring, not a free list).
+    pub fn reclaim(&mut self) -> u64 {
+        let start_head = self.head;
+        while let Some((&pos, (stream, version, end))) = self.entries.iter().next() {
+            debug_assert!(pos >= self.head);
+            // Stop at the first unconsumed entry.
+            let consumed = self.consumed.get(stream).copied().unwrap_or(0);
+            if *version > consumed {
+                break;
+            }
+            let key = (stream.clone(), *version);
+            let end = *end;
+            self.index.remove(&key);
+            self.entries.remove(&pos);
+            self.head = end;
+        }
+        if self.head != start_head {
+            self.persist_pointer(HDR_OFF_HEAD, self.head);
+        }
+        self.head - start_head
+    }
+
+    /// Borrow the backing region (e.g. to inject a crash in tests).
+    pub fn region_mut(&mut self) -> &mut PmemRegion {
+        &mut self.region
+    }
+
+    /// Consume the store, returning the region (for crash/recover cycles).
+    pub fn into_region(self) -> PmemRegion {
+        self.region
+    }
+
+    /// Bytes of ring space currently occupied (tail − head).
+    pub fn used_bytes(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Total ring capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.ring_len()
+    }
+}
+
+impl ObjectStore for NvStore {
+    fn put(&mut self, stream: &str, version: u64, data: &[u8]) -> Result<(), StoreError> {
+        self.put_with_crash(stream, version, data, CrashPoint::None)
+    }
+
+    fn get(&mut self, stream: &str, version: u64) -> Result<Vec<u8>, StoreError> {
+        let key = (stream.to_string(), version);
+        let Some(&(pos, len, checksum)) = self.index.get(&key) else {
+            return self.missing(stream, version);
+        };
+        let mut data = vec![0u8; len as usize];
+        self.read_ring(pos, &mut data);
+        if fnv1a_multi(&[stream.as_bytes(), &data]) != checksum {
+            return Err(StoreError::Corrupt(format!(
+                "payload checksum mismatch for {stream:?} v{version}"
+            )));
+        }
+        Ok(data)
+    }
+
+    fn streams(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.index.keys().map(|(s, _)| s.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn versions(&self, stream: &str) -> Vec<u64> {
+        self.index
+            .keys()
+            .filter(|(s, _)| s == stream)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    fn kind(&self) -> StackKind {
+        StackKind::NvStream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemflow_pmem::InterleaveGeometry;
+
+    fn region(len: usize) -> PmemRegion {
+        PmemRegion::new(
+            len,
+            InterleaveGeometry {
+                dimms: 6,
+                chunk_bytes: 4096,
+            },
+        )
+    }
+
+    fn store() -> NvStore {
+        NvStore::format(region(1 << 20)).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = store();
+        s.put("gtc/rank0", 1, b"particles-v1").unwrap();
+        assert_eq!(s.get("gtc/rank0", 1).unwrap(), b"particles-v1");
+    }
+
+    #[test]
+    fn multiple_versions_and_streams() {
+        let mut s = store();
+        for v in 1..=5u64 {
+            s.put("a", v, format!("a{v}").as_bytes()).unwrap();
+            s.put("b", v, format!("b{v}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.streams(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.versions("a"), vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.latest("b"), Some(5));
+        assert_eq!(s.get("b", 3).unwrap(), b"b3");
+    }
+
+    #[test]
+    fn version_monotonicity_enforced() {
+        let mut s = store();
+        s.put("a", 2, b"x").unwrap();
+        assert!(matches!(s.put("a", 2, b"y"), Err(StoreError::Invalid(_))));
+        assert!(matches!(s.put("a", 1, b"y"), Err(StoreError::Invalid(_))));
+        s.put("a", 3, b"z").unwrap();
+    }
+
+    #[test]
+    fn unknown_lookups() {
+        let mut s = store();
+        s.put("a", 1, b"x").unwrap();
+        assert!(matches!(s.get("nope", 1), Err(StoreError::UnknownStream(_))));
+        assert!(matches!(
+            s.get("a", 9),
+            Err(StoreError::UnknownVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_rebuilds_index() {
+        let mut s = store();
+        s.put("sim", 1, &vec![7u8; 10_000]).unwrap();
+        s.put("sim", 2, &vec![9u8; 5_000]).unwrap();
+        let mut region = s.into_region();
+        region.crash();
+        let mut s2 = NvStore::recover(region).unwrap();
+        assert_eq!(s2.versions("sim"), vec![1, 2]);
+        assert_eq!(s2.get("sim", 2).unwrap(), vec![9u8; 5_000]);
+    }
+
+    #[test]
+    fn crash_before_any_fence_loses_entry_cleanly() {
+        let mut s = store();
+        s.put("sim", 1, b"one").unwrap();
+        s.put_with_crash("sim", 2, b"two", CrashPoint::AfterDataWrite)
+            .unwrap();
+        let mut region = s.into_region();
+        region.crash();
+        let mut s2 = NvStore::recover(region).unwrap();
+        assert_eq!(s2.versions("sim"), vec![1]);
+        assert_eq!(s2.get("sim", 1).unwrap(), b"one");
+    }
+
+    #[test]
+    fn crash_before_tail_update_hides_entry() {
+        let mut s = store();
+        s.put("sim", 1, b"one").unwrap();
+        s.put_with_crash("sim", 2, b"two", CrashPoint::AfterDataPersist)
+            .unwrap();
+        let mut region = s.into_region();
+        region.crash();
+        let mut s2 = NvStore::recover(region).unwrap();
+        assert_eq!(s2.versions("sim"), vec![1]);
+        s2.put("sim", 2, b"two-again").unwrap();
+        assert_eq!(s2.get("sim", 2).unwrap(), b"two-again");
+    }
+
+    #[test]
+    fn out_of_space_without_consumption() {
+        let mut s = NvStore::format(region(4096 + 64)).unwrap();
+        assert!(matches!(
+            s.put("big", 1, &vec![0u8; 8192]),
+            Err(StoreError::OutOfSpace)
+        ));
+        s.put("small", 1, b"ok").unwrap();
+    }
+
+    #[test]
+    fn ring_reclaims_consumed_space_and_wraps() {
+        // Ring of ~4 KiB; each object ~1 KiB packed into 1152-byte
+        // entries. Without reclaim it fills after ~3 puts; with consume +
+        // reclaim the stream runs indefinitely, wrapping the ring.
+        let mut s = NvStore::format(region(4096 + HEADER_BYTES as usize)).unwrap();
+        let payload = vec![0x77u8; 1024];
+        for v in 1..=20u64 {
+            if v > 3 {
+                s.consume("sim", v - 2);
+                s.reclaim();
+            }
+            s.put("sim", v, &payload)
+                .unwrap_or_else(|e| panic!("put v{v}: {e}"));
+            assert_eq!(s.get("sim", v).unwrap(), payload);
+        }
+        // Old versions are gone, recent survive.
+        assert!(s.get("sim", 1).is_err());
+        assert_eq!(s.get("sim", 20).unwrap(), payload);
+        assert!(s.used_bytes() <= s.capacity_bytes());
+    }
+
+    #[test]
+    fn reclaim_stops_at_first_unconsumed_entry() {
+        let mut s = store();
+        s.put("a", 1, &vec![1u8; 500]).unwrap();
+        s.put("b", 1, &vec![2u8; 500]).unwrap();
+        s.put("a", 2, &vec![3u8; 500]).unwrap();
+        s.consume("a", 2); // b/1 is NOT consumed
+        let freed = s.reclaim();
+        // Only a/1 can go; the head stops at b/1.
+        assert!(freed > 0);
+        assert!(s.get("a", 1).is_err());
+        assert_eq!(s.get("b", 1).unwrap(), vec![2u8; 500]);
+        assert_eq!(s.get("a", 2).unwrap(), vec![3u8; 500]);
+    }
+
+    #[test]
+    fn recovery_after_reclaim_and_wrap() {
+        let mut s = NvStore::format(region(8192 + HEADER_BYTES as usize)).unwrap();
+        let payload = vec![0x42u8; 1500];
+        for v in 1..=12u64 {
+            if v > 2 {
+                s.consume("sim", v - 2);
+                s.reclaim();
+            }
+            s.put("sim", v, &payload).unwrap();
+        }
+        let mut r = s.into_region();
+        r.crash();
+        let mut s2 = NvStore::recover(r).unwrap();
+        // The live suffix survives with correct contents.
+        let versions = s2.versions("sim");
+        assert!(versions.contains(&12));
+        for v in versions {
+            assert_eq!(s2.get("sim", v).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn get_range_partial_reads() {
+        let mut s = store();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        s.put("obj", 1, &data).unwrap();
+        assert_eq!(s.get_range("obj", 1, 0, 10).unwrap(), &data[..10]);
+        assert_eq!(s.get_range("obj", 1, 500, 100).unwrap(), &data[500..600]);
+        assert!(matches!(
+            s.get_range("obj", 1, 950, 100),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(s.get_range("obj", 2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let mut s = store();
+        assert!(matches!(s.put("", 1, b"x"), Err(StoreError::Invalid(_))));
+        assert!(matches!(s.put("a", 1, b""), Err(StoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn payload_persists_after_put() {
+        let mut s = store();
+        s.put("a", 1, &vec![1u8; 4096]).unwrap();
+        assert_eq!(s.region_mut().volatile_bytes(), 0);
+    }
+
+    #[test]
+    fn large_snapshot_roundtrip() {
+        let mut s = NvStore::format(region(8 << 20)).unwrap();
+        let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 255) as u8).collect();
+        s.put("snap", 1, &payload).unwrap();
+        assert_eq!(s.get("snap", 1).unwrap(), payload);
+        let mut r = s.into_region();
+        r.crash();
+        let mut s2 = NvStore::recover(r).unwrap();
+        assert_eq!(s2.get("snap", 1).unwrap(), payload);
+    }
+
+    #[test]
+    fn kind_is_nvstream() {
+        assert_eq!(store().kind(), StackKind::NvStream);
+    }
+
+    #[test]
+    fn used_bytes_tracks_ring_occupancy() {
+        let mut s = store();
+        assert_eq!(s.used_bytes(), 0);
+        s.put("a", 1, &vec![0u8; 1000]).unwrap();
+        let used = s.used_bytes();
+        assert!((1000..1300).contains(&used));
+        s.consume("a", 1);
+        s.reclaim();
+        assert_eq!(s.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The common object-store interface both stacks implement.
+//!
+//! The paper's workflows exchange *versioned named objects*: each writer
+//! rank instantiates its objects once, then publishes a new version of every
+//! object per iteration (a checkpoint/snapshot), and reader ranks consume
+//! versions in order (§V "Measurements"). This trait captures exactly that
+//! contract; `NovaFs` and `NvStore` provide it over a [`pmemflow_pmem::PmemRegion`]
+//! with different mechanisms and different software costs.
+
+use crate::cost::StackKind;
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named stream/object has never been created.
+    UnknownStream(String),
+    /// The stream exists but the requested version does not.
+    UnknownVersion {
+        /// Stream name.
+        stream: String,
+        /// Version requested.
+        version: u64,
+    },
+    /// Persistent state failed validation (torn write, bad checksum).
+    Corrupt(String),
+    /// The backing region is full.
+    OutOfSpace,
+    /// Invalid argument (empty name, name too long, zero-length object...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownStream(s) => write!(f, "unknown stream {s:?}"),
+            StoreError::UnknownVersion { stream, version } => {
+                write!(f, "stream {stream:?} has no version {version}")
+            }
+            StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::OutOfSpace => write!(f, "out of space"),
+            StoreError::Invalid(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A versioned named-object store over persistent memory.
+pub trait ObjectStore {
+    /// Persist `data` as `version` of `stream`. Versions must be published
+    /// in increasing order per stream; re-publishing an existing version is
+    /// an error.
+    fn put(&mut self, stream: &str, version: u64, data: &[u8]) -> Result<(), StoreError>;
+
+    /// Fetch the payload of `version` of `stream`.
+    fn get(&mut self, stream: &str, version: u64) -> Result<Vec<u8>, StoreError>;
+
+    /// All stream names, sorted.
+    fn streams(&self) -> Vec<String>;
+
+    /// All versions of `stream`, ascending.
+    fn versions(&self, stream: &str) -> Vec<u64>;
+
+    /// Which stack this is.
+    fn kind(&self) -> StackKind;
+
+    /// Latest version of `stream`, if any.
+    fn latest(&self, stream: &str) -> Option<u64> {
+        self.versions(stream).last().copied()
+    }
+}
+
+/// Where to abort a `put` protocol for crash-consistency testing.
+///
+/// Storage systems are validated by crashing them at every point of their
+/// commit protocols; these are the interesting points shared by both
+/// stacks' put paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash after object payload bytes were issued but before any fence.
+    AfterDataWrite,
+    /// Crash after the payload is durable but before the metadata/log
+    /// record that names it is durable.
+    AfterDataPersist,
+    /// Crash after the log/journal record is durable but before the final
+    /// commit (tail pointer / journal commit) is durable.
+    AfterLogRecord,
+    /// Run the full protocol (no crash).
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::UnknownVersion {
+            stream: "s".into(),
+            version: 3,
+        };
+        assert_eq!(e.to_string(), "stream \"s\" has no version 3");
+        assert!(StoreError::OutOfSpace.to_string().contains("space"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # pmemflow-platform — dual-socket node topology and rank pinning
+//!
+//! Models the server platform of the paper's testbed (§V): a dual-socket
+//! Intel Xeon Scalable node, 28 physical cores per socket, each socket with
+//! locally attached DRAM and a PMEM interleave set behind two memory
+//! controllers, connected by a UPI interconnect. Workflow deployment
+//! decisions (Fig. 2) are expressed against this topology: which socket a
+//! component's ranks are pinned to, and which socket's PMEM holds the
+//! streaming I/O channel — together determining each component's
+//! [`Locality`] with respect to the channel.
+
+#![warn(missing_docs)]
+
+use pmemflow_des::Locality;
+
+mod pinning;
+mod topology;
+
+pub use pinning::{PinError, PinPolicy, Pinning};
+pub use topology::{CoreId, Node, Socket, SocketId};
+
+/// The locality of a rank pinned to `rank_socket` accessing PMEM attached
+/// to `pmem_socket`.
+pub fn locality_of(rank_socket: SocketId, pmem_socket: SocketId) -> Locality {
+    if rank_socket == pmem_socket {
+        Locality::Local
+    } else {
+        Locality::Remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_matches_sockets() {
+        assert_eq!(locality_of(SocketId(0), SocketId(0)), Locality::Local);
+        assert_eq!(locality_of(SocketId(0), SocketId(1)), Locality::Remote);
+        assert_eq!(locality_of(SocketId(1), SocketId(1)), Locality::Local);
+    }
+}

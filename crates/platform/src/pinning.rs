@@ -1,0 +1,119 @@
+//! Rank-to-core pinning.
+//!
+//! The paper pins writer and reader ranks to distinct sockets (§II-A
+//! excludes core/socket sharing between components, and §V pins every MPI
+//! rank). A [`PinPolicy`] names the intent; [`Pinning`] is the validated
+//! assignment of ranks to physical cores.
+
+use crate::topology::{CoreId, Node, SocketId};
+
+/// How to place a component's ranks on the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// All ranks on the given socket, one rank per physical core, filling
+    /// cores in id order. This is the paper's deployment.
+    Socket(SocketId),
+}
+
+/// Errors from building a pinning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinError {
+    /// More ranks than cores available on the requested socket.
+    NotEnoughCores {
+        /// Cores requested.
+        requested: usize,
+        /// Cores available.
+        available: usize,
+        /// Socket involved.
+        socket: SocketId,
+    },
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::NotEnoughCores {
+                requested,
+                available,
+                socket,
+            } => write!(
+                f,
+                "socket {} has {} cores, {} requested",
+                socket.0, available, requested
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// A validated rank → core assignment for one workflow component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pinning {
+    /// The socket every rank lives on.
+    pub socket: SocketId,
+    /// Core for each rank, indexed by rank.
+    pub cores: Vec<CoreId>,
+}
+
+impl Pinning {
+    /// Pin `ranks` ranks according to `policy` on `node`.
+    pub fn new(node: &Node, policy: PinPolicy, ranks: usize) -> Result<Pinning, PinError> {
+        match policy {
+            PinPolicy::Socket(socket) => {
+                let cores = &node.socket(socket).cores;
+                if ranks > cores.len() {
+                    return Err(PinError::NotEnoughCores {
+                        requested: ranks,
+                        available: cores.len(),
+                        socket,
+                    });
+                }
+                Ok(Pinning {
+                    socket,
+                    cores: cores[..ranks].to_vec(),
+                })
+            }
+        }
+    }
+
+    /// Number of pinned ranks.
+    pub fn ranks(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_in_core_order() {
+        let n = Node::dual_socket(4, 1, 1);
+        let p = Pinning::new(&n, PinPolicy::Socket(SocketId(1)), 3).unwrap();
+        assert_eq!(p.socket, SocketId(1));
+        assert_eq!(p.cores, vec![CoreId(4), CoreId(5), CoreId(6)]);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let n = Node::dual_socket(4, 1, 1);
+        let err = Pinning::new(&n, PinPolicy::Socket(SocketId(0)), 5).unwrap_err();
+        assert_eq!(
+            err,
+            PinError::NotEnoughCores {
+                requested: 5,
+                available: 4,
+                socket: SocketId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn paper_concurrency_levels_fit() {
+        let n = Node::paper_testbed();
+        for ranks in [8, 16, 24] {
+            assert!(Pinning::new(&n, PinPolicy::Socket(SocketId(0)), ranks).is_ok());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Raw-device characterization tables (paper §II-B reproduction).
+//!
+//! The paper grounds its scheduling arguments in a handful of raw Optane
+//! behaviours. This module evaluates the model at the same operating points
+//! and produces the numbers a device microbenchmark would print, so the
+//! claims can be checked against the encoded curves directly:
+//!
+//! * local read peak 39.4 GB/s (scales to ~17 threads),
+//! * local write peak 13.9 GB/s (saturates at 4 threads),
+//! * remote random writes under 1 GB/s beyond 3 concurrent ops,
+//! * 15× remote write drop at 24 ops vs 1.3× for reads,
+//! * idle latency: write 90 ns vs read 169 ns.
+
+use crate::profile::DeviceProfile;
+use pmemflow_des::{Direction, Locality};
+
+/// One row of the characterization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthRow {
+    /// Concurrent operations.
+    pub threads: f64,
+    /// Aggregate local read bandwidth, bytes/s.
+    pub local_read: f64,
+    /// Aggregate local write bandwidth, bytes/s.
+    pub local_write: f64,
+    /// Aggregate remote read bandwidth, bytes/s.
+    pub remote_read: f64,
+    /// Aggregate remote streaming write bandwidth, bytes/s.
+    pub remote_write: f64,
+    /// Aggregate remote random-4K write bandwidth, bytes/s.
+    pub remote_write_random: f64,
+}
+
+/// Evaluate the device model at the given concurrency levels.
+pub fn bandwidth_table(profile: &DeviceProfile, thread_counts: &[f64]) -> Vec<BandwidthRow> {
+    thread_counts
+        .iter()
+        .map(|&n| BandwidthRow {
+            threads: n,
+            local_read: profile.local_read_bw.eval(n),
+            local_write: profile.local_write_bw.eval(n),
+            remote_read: profile.local_read_bw.eval(n) / profile.remote_read_penalty.eval(n),
+            remote_write: profile.remote_write_bw.eval(n),
+            remote_write_random: profile.remote_write_bw_random.eval(n),
+        })
+        .collect()
+}
+
+/// The §II-B headline ratios computed from the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineRatios {
+    /// Remote/local write slowdown at 24 concurrent random writes
+    /// (paper: ~15×).
+    pub write_drop_at_24: f64,
+    /// Remote/local read slowdown at 24 concurrent reads (paper: ~1.3×).
+    pub read_drop_at_24: f64,
+    /// Idle write latency, seconds (paper: 90 ns).
+    pub write_latency: f64,
+    /// Idle read latency, seconds (paper: 169 ns).
+    pub read_latency: f64,
+}
+
+/// Compute the headline §II-B ratios for a profile.
+pub fn headline_ratios(profile: &DeviceProfile) -> HeadlineRatios {
+    HeadlineRatios {
+        write_drop_at_24: profile.local_write_bw.peak() / profile.remote_write_bw_random.eval(24.0),
+        read_drop_at_24: profile.remote_read_penalty.eval(24.0),
+        write_latency: profile.latency(Direction::Write, Locality::Local),
+        read_latency: profile.latency(Direction::Read, Locality::Local),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::GB;
+
+    #[test]
+    fn table_is_monotone_in_sensible_ranges() {
+        let p = DeviceProfile::optane_gen1();
+        let rows = bandwidth_table(&p, &[1.0, 4.0, 8.0, 17.0]);
+        for w in rows.windows(2) {
+            assert!(w[1].local_read >= w[0].local_read);
+        }
+    }
+
+    #[test]
+    fn headline_ratios_match_paper() {
+        let r = headline_ratios(&DeviceProfile::optane_gen1());
+        assert!(r.write_drop_at_24 > 12.0 && r.write_drop_at_24 < 18.0);
+        assert!((r.read_drop_at_24 - 1.3).abs() < 0.01);
+        assert_eq!(r.write_latency, 90e-9);
+        assert_eq!(r.read_latency, 169e-9);
+    }
+
+    #[test]
+    fn remote_random_write_under_1gb_beyond_3() {
+        let p = DeviceProfile::optane_gen1();
+        for row in bandwidth_table(&p, &[4.0, 8.0, 16.0, 24.0]) {
+            assert!(row.remote_write_random < 1.1 * GB, "at {}", row.threads);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! DIMM interleaving (RAID-0-style striping).
+//!
+//! Optane sockets interleave physical addresses across the DIMM set in
+//! fixed-size chunks: the paper's testbed stripes 4 KB chunks across 6
+//! modules, giving a 24 KB stripe (§II-B "Access granularity"). The
+//! interleaver maps region offsets to (DIMM, offset-within-DIMM) and
+//! decomposes ranges into per-DIMM segments, which the region uses for
+//! traffic accounting and which explains the small-access collision
+//! penalty: a 4 KB access touches exactly one DIMM, so concurrent threads
+//! randomly collide on modules with limited per-DIMM bandwidth.
+
+use crate::profile::InterleaveGeometry;
+
+/// Maps region offsets to DIMM modules under an interleave geometry.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    geometry: InterleaveGeometry,
+}
+
+/// A contiguous piece of an access that lands on a single DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimmSegment {
+    /// Which DIMM the bytes land on.
+    pub dimm: usize,
+    /// Offset within the region (not within the DIMM).
+    pub offset: u64,
+    /// Segment length in bytes.
+    pub len: u64,
+}
+
+impl Interleaver {
+    /// Build an interleaver for the given geometry.
+    pub fn new(geometry: InterleaveGeometry) -> Self {
+        assert!(geometry.dimms > 0, "need at least one DIMM");
+        assert!(geometry.chunk_bytes > 0, "chunk must be non-empty");
+        Self { geometry }
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> &InterleaveGeometry {
+        &self.geometry
+    }
+
+    /// The DIMM holding the byte at `offset`.
+    pub fn dimm_of(&self, offset: u64) -> usize {
+        ((offset / self.geometry.chunk_bytes) % self.geometry.dimms as u64) as usize
+    }
+
+    /// Decompose `[offset, offset + len)` into per-DIMM segments, in
+    /// address order.
+    pub fn segments(&self, offset: u64, len: u64) -> Vec<DimmSegment> {
+        let mut out = Vec::new();
+        let chunk = self.geometry.chunk_bytes;
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let chunk_end = (pos / chunk + 1) * chunk;
+            let seg_end = chunk_end.min(end);
+            out.push(DimmSegment {
+                dimm: self.dimm_of(pos),
+                offset: pos,
+                len: seg_end - pos,
+            });
+            pos = seg_end;
+        }
+        out
+    }
+
+    /// Bytes per DIMM for `[offset, offset + len)`.
+    pub fn bytes_per_dimm(&self, offset: u64, len: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.geometry.dimms];
+        for seg in self.segments(offset, len) {
+            out[seg.dimm] += seg.len;
+        }
+        out
+    }
+
+    /// Imbalance of an access: max over mean of per-DIMM byte counts.
+    /// 1.0 means a perfectly balanced (stripe-multiple) access; a 4 KB
+    /// access on the 6-DIMM geometry returns 6.0 (all bytes on one module).
+    pub fn imbalance(&self, offset: u64, len: u64) -> f64 {
+        if len == 0 {
+            return 1.0;
+        }
+        let per = self.bytes_per_dimm(offset, len);
+        let max = *per.iter().max().unwrap() as f64;
+        let mean = len as f64 / self.geometry.dimms as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_geometry() -> InterleaveGeometry {
+        InterleaveGeometry {
+            dimms: 6,
+            chunk_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn dimm_of_cycles_through_modules() {
+        let il = Interleaver::new(paper_geometry());
+        for d in 0..6 {
+            assert_eq!(il.dimm_of(d as u64 * 4096), d);
+            assert_eq!(il.dimm_of(d as u64 * 4096 + 4095), d);
+        }
+        // Wraps after a full stripe.
+        assert_eq!(il.dimm_of(6 * 4096), 0);
+    }
+
+    #[test]
+    fn segments_cover_range_exactly() {
+        let il = Interleaver::new(paper_geometry());
+        let segs = il.segments(1000, 10_000);
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(segs[0].offset, 1000);
+        // Contiguous.
+        for w in segs.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+    }
+
+    #[test]
+    fn full_stripe_is_balanced() {
+        let il = Interleaver::new(paper_geometry());
+        let per = il.bytes_per_dimm(0, 24 * 1024);
+        assert!(per.iter().all(|&b| b == 4096));
+        assert_eq!(il.imbalance(0, 24 * 1024), 1.0);
+    }
+
+    #[test]
+    fn small_access_hits_one_dimm() {
+        let il = Interleaver::new(paper_geometry());
+        let per = il.bytes_per_dimm(0, 2048);
+        assert_eq!(per[0], 2048);
+        assert!(per[1..].iter().all(|&b| b == 0));
+        assert_eq!(il.imbalance(0, 2048), 6.0);
+    }
+
+    #[test]
+    fn large_access_imbalance_approaches_one() {
+        let il = Interleaver::new(paper_geometry());
+        // 64 MB is 2730 stripes plus change: nearly perfectly balanced.
+        let imb = il.imbalance(0, 64 << 20);
+        assert!(imb < 1.01, "imbalance {imb}");
+    }
+
+    #[test]
+    fn unaligned_access_spanning_chunk_boundary() {
+        let il = Interleaver::new(paper_geometry());
+        let segs = il.segments(4000, 200);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].dimm, 0);
+        assert_eq!(segs[0].len, 96);
+        assert_eq!(segs[1].dimm, 1);
+        assert_eq!(segs[1].len, 104);
+    }
+
+    #[test]
+    fn zero_length_range() {
+        let il = Interleaver::new(paper_geometry());
+        assert!(il.segments(123, 0).is_empty());
+        assert_eq!(il.imbalance(123, 0), 1.0);
+    }
+}

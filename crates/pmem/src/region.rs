@@ -1,0 +1,425 @@
+//! A byte-addressable persistent-memory region with crash semantics.
+//!
+//! `PmemRegion` backs the functional I/O stacks (`pmemflow-iostack`) with
+//! *real bytes* plus a faithful model of what is and is not durable at any
+//! instant:
+//!
+//! * **Cached stores** (`StoreMode::Cached`) land in a volatile CPU-cache
+//!   overlay; they reach persistence only when explicitly flushed
+//!   (`clwb`-style [`PmemRegion::flush`]). This is NOVA's path for
+//!   metadata.
+//! * **Non-temporal stores** (`StoreMode::NonTemporal`) bypass the cache
+//!   into a write-combining buffer and become durable at the next
+//!   [`PmemRegion::fence`] (`sfence`). This is NVStream's data path — it
+//!   also avoids polluting the CPU cache with snapshot data that the writer
+//!   never reads back (paper §V).
+//!
+//! [`PmemRegion::crash`] discards everything volatile, exactly like a power
+//! cut; recovery tests in the I/O stacks run against the surviving media
+//! image. The region also accounts per-DIMM traffic via the interleaver and
+//! media write amplification via the XPBuffer model.
+
+use crate::interleave::Interleaver;
+use crate::profile::InterleaveGeometry;
+use crate::xpbuffer::XpBuffer;
+use std::collections::BTreeMap;
+
+/// CPU cache-line size used by the volatile overlay.
+pub const CACHE_LINE: u64 = 64;
+
+/// How a store travels to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Through the CPU cache; durable only after `flush` + `fence`.
+    Cached,
+    /// Non-temporal (streaming); durable after the next `fence`.
+    NonTemporal,
+}
+
+/// Traffic accounting for a region.
+#[derive(Debug, Clone, Default)]
+pub struct RegionStats {
+    /// Bytes written by callers (either mode).
+    pub bytes_written: u64,
+    /// Bytes read by callers.
+    pub bytes_read: u64,
+    /// Bytes that reached the media (flushes + fences).
+    pub bytes_persisted: u64,
+    /// Per-DIMM byte totals (reads + persisted writes).
+    pub per_dimm_bytes: Vec<u64>,
+    /// Number of `flush` calls.
+    pub flushes: u64,
+    /// Number of `fence` calls.
+    pub fences: u64,
+}
+
+/// A simulated PMEM device region storing real bytes.
+#[derive(Debug)]
+pub struct PmemRegion {
+    media: Vec<u8>,
+    /// Dirty cache lines not yet flushed: line index → contents.
+    overlay: BTreeMap<u64, [u8; CACHE_LINE as usize]>,
+    /// Non-temporal stores awaiting a fence, in program order.
+    wc_pending: Vec<(u64, Vec<u8>)>,
+    interleaver: Interleaver,
+    xpbuffer: XpBuffer,
+    stats: RegionStats,
+}
+
+impl PmemRegion {
+    /// Allocate a zeroed region of `len` bytes with the given interleave
+    /// geometry.
+    pub fn new(len: usize, geometry: InterleaveGeometry) -> Self {
+        let dimms = geometry.dimms;
+        Self {
+            media: vec![0u8; len],
+            overlay: BTreeMap::new(),
+            wc_pending: Vec::new(),
+            interleaver: Interleaver::new(geometry),
+            xpbuffer: XpBuffer::new(16 * 1024),
+            stats: RegionStats {
+                per_dimm_bytes: vec![0; dimms],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.media.len()
+    }
+
+    /// True if the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.media.is_empty()
+    }
+
+    fn check_range(&self, offset: u64, len: usize) {
+        assert!(
+            (offset as usize).checked_add(len).is_some_and(|end| end <= self.media.len()),
+            "access [{offset}, +{len}) out of region bounds ({})",
+            self.media.len()
+        );
+    }
+
+    /// Store `data` at `offset` with the given mode.
+    pub fn write(&mut self, offset: u64, data: &[u8], mode: StoreMode) {
+        self.check_range(offset, data.len());
+        self.stats.bytes_written += data.len() as u64;
+        match mode {
+            StoreMode::Cached => {
+                // Spread the bytes over cache lines in the overlay.
+                let mut pos = 0usize;
+                while pos < data.len() {
+                    let abs = offset + pos as u64;
+                    let line = abs / CACHE_LINE;
+                    let line_start = line * CACHE_LINE;
+                    let within = (abs - line_start) as usize;
+                    let take = (CACHE_LINE as usize - within).min(data.len() - pos);
+                    let entry = self.overlay.entry(line).or_insert_with(|| {
+                        // Faulting a line in pulls current media contents.
+                        let mut buf = [0u8; CACHE_LINE as usize];
+                        let s = line_start as usize;
+                        let e = (s + CACHE_LINE as usize).min(self.media.len());
+                        buf[..e - s].copy_from_slice(&self.media[s..e]);
+                        buf
+                    });
+                    entry[within..within + take].copy_from_slice(&data[pos..pos + take]);
+                    pos += take;
+                }
+            }
+            StoreMode::NonTemporal => {
+                self.wc_pending.push((offset, data.to_vec()));
+            }
+        }
+    }
+
+    /// Load `out.len()` bytes from `offset`, observing volatile state
+    /// (reads see the newest store, durable or not).
+    pub fn read(&mut self, offset: u64, out: &mut [u8]) {
+        self.check_range(offset, out.len());
+        self.stats.bytes_read += out.len() as u64;
+        for (d, b) in self
+            .interleaver
+            .bytes_per_dimm(offset, out.len() as u64)
+            .into_iter()
+            .enumerate()
+        {
+            self.stats.per_dimm_bytes[d] += b;
+        }
+        out.copy_from_slice(&self.media[offset as usize..offset as usize + out.len()]);
+        // Newest-wins: cached overlay first, then pending NT stores in
+        // program order (an NT store after a cached store to the same bytes
+        // must win, and vice versa is not representable here because NT
+        // stores to cached lines would be flushed by real CPUs; the stacks
+        // never mix modes on the same bytes).
+        let first_line = offset / CACHE_LINE;
+        let last_line = (offset + out.len() as u64 - 1) / CACHE_LINE;
+        for (&line, contents) in self.overlay.range(first_line..=last_line) {
+            let line_start = line * CACHE_LINE;
+            let from = line_start.max(offset);
+            let to = (line_start + CACHE_LINE).min(offset + out.len() as u64);
+            if from < to {
+                let src = (from - line_start) as usize..(to - line_start) as usize;
+                let dst = (from - offset) as usize..(to - offset) as usize;
+                out[dst].copy_from_slice(&contents[src]);
+            }
+        }
+        for (woff, data) in &self.wc_pending {
+            let from = (*woff).max(offset);
+            let to = (woff + data.len() as u64).min(offset + out.len() as u64);
+            if from < to {
+                let src = (from - woff) as usize..(to - woff) as usize;
+                let dst = (from - offset) as usize..(to - offset) as usize;
+                out[dst].copy_from_slice(&data[src]);
+            }
+        }
+    }
+
+    /// Flush (`clwb`) the cache lines overlapping `[offset, offset+len)` to
+    /// media. Durable immediately (the ADR domain is persistent).
+    pub fn flush(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(offset, len as usize);
+        self.stats.flushes += 1;
+        let first_line = offset / CACHE_LINE;
+        let last_line = (offset + len - 1) / CACHE_LINE;
+        let lines: Vec<u64> = self
+            .overlay
+            .range(first_line..=last_line)
+            .map(|(&l, _)| l)
+            .collect();
+        for line in lines {
+            let contents = self.overlay.remove(&line).unwrap();
+            let s = (line * CACHE_LINE) as usize;
+            let e = (s + CACHE_LINE as usize).min(self.media.len());
+            self.media[s..e].copy_from_slice(&contents[..e - s]);
+            self.account_persist(line * CACHE_LINE, (e - s) as u64);
+        }
+    }
+
+    /// Fence (`sfence`): commit all pending non-temporal stores to media.
+    pub fn fence(&mut self) {
+        self.stats.fences += 1;
+        let pending = std::mem::take(&mut self.wc_pending);
+        for (offset, data) in pending {
+            let s = offset as usize;
+            self.media[s..s + data.len()].copy_from_slice(&data);
+            self.account_persist(offset, data.len() as u64);
+        }
+    }
+
+    /// Convenience: flush the range, then fence.
+    pub fn persist(&mut self, offset: u64, len: u64) {
+        self.flush(offset, len);
+        self.fence();
+    }
+
+    fn account_persist(&mut self, offset: u64, len: u64) {
+        self.stats.bytes_persisted += len;
+        for (d, b) in self
+            .interleaver
+            .bytes_per_dimm(offset, len)
+            .into_iter()
+            .enumerate()
+        {
+            self.stats.per_dimm_bytes[d] += b;
+        }
+        self.xpbuffer.write(offset, len);
+    }
+
+    /// Power cut: all volatile state (cache overlay, pending NT stores) is
+    /// lost; only media survives. Returns the number of bytes discarded.
+    pub fn crash(&mut self) -> u64 {
+        let lost = self.overlay.len() as u64 * CACHE_LINE
+            + self.wc_pending.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+        self.overlay.clear();
+        self.wc_pending.clear();
+        lost
+    }
+
+    /// Bytes that would be lost if the machine crashed now.
+    pub fn volatile_bytes(&self) -> u64 {
+        self.overlay.len() as u64 * CACHE_LINE
+            + self.wc_pending.iter().map(|(_, d)| d.len() as u64).sum::<u64>()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &RegionStats {
+        &self.stats
+    }
+
+    /// Media write amplification observed by the XPBuffer model.
+    pub fn write_amplification(&self) -> f64 {
+        self.xpbuffer.stats().write_amplification()
+    }
+
+    /// The interleaver used for address mapping.
+    pub fn interleaver(&self) -> &Interleaver {
+        &self.interleaver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> PmemRegion {
+        PmemRegion::new(
+            1 << 20,
+            InterleaveGeometry {
+                dimms: 6,
+                chunk_bytes: 4096,
+            },
+        )
+    }
+
+    #[test]
+    fn read_your_cached_write_before_flush() {
+        let mut r = region();
+        r.write(100, b"hello", StoreMode::Cached);
+        let mut out = [0u8; 5];
+        r.read(100, &mut out);
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn cached_write_lost_on_crash_without_flush() {
+        let mut r = region();
+        r.write(100, b"hello", StoreMode::Cached);
+        r.crash();
+        let mut out = [0u8; 5];
+        r.read(100, &mut out);
+        assert_eq!(&out, b"\0\0\0\0\0");
+    }
+
+    #[test]
+    fn cached_write_survives_crash_after_flush() {
+        let mut r = region();
+        r.write(100, b"hello", StoreMode::Cached);
+        r.flush(100, 5);
+        r.crash();
+        let mut out = [0u8; 5];
+        r.read(100, &mut out);
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn nt_write_needs_fence() {
+        let mut r = region();
+        r.write(0, b"abcd", StoreMode::NonTemporal);
+        // Visible to reads immediately...
+        let mut out = [0u8; 4];
+        r.read(0, &mut out);
+        assert_eq!(&out, b"abcd");
+        // ...but a crash before the fence loses it.
+        r.crash();
+        r.read(0, &mut out);
+        assert_eq!(&out, b"\0\0\0\0");
+        // With a fence it persists.
+        r.write(0, b"abcd", StoreMode::NonTemporal);
+        r.fence();
+        r.crash();
+        r.read(0, &mut out);
+        assert_eq!(&out, b"abcd");
+    }
+
+    #[test]
+    fn partial_fence_boundary() {
+        let mut r = region();
+        r.write(0, b"first", StoreMode::NonTemporal);
+        r.fence();
+        r.write(10, b"second", StoreMode::NonTemporal);
+        r.crash(); // second was never fenced
+        let mut a = [0u8; 5];
+        r.read(0, &mut a);
+        assert_eq!(&a, b"first");
+        let mut b = [0u8; 6];
+        r.read(10, &mut b);
+        assert_eq!(&b, b"\0\0\0\0\0\0");
+    }
+
+    #[test]
+    fn write_spanning_many_cache_lines() {
+        let mut r = region();
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        r.write(37, &data, StoreMode::Cached);
+        let mut out = vec![0u8; 1000];
+        r.read(37, &mut out);
+        assert_eq!(out, data);
+        r.persist(37, 1000);
+        r.crash();
+        let mut out2 = vec![0u8; 1000];
+        r.read(37, &mut out2);
+        assert_eq!(out2, data);
+    }
+
+    #[test]
+    fn flush_pulls_media_for_partial_lines() {
+        let mut r = region();
+        // Persist a baseline, then dirty part of the same line and flush:
+        // untouched bytes of the line must not be clobbered.
+        r.write(0, &[7u8; 64], StoreMode::Cached);
+        r.persist(0, 64);
+        r.write(10, b"xy", StoreMode::Cached);
+        r.persist(10, 2);
+        r.crash();
+        let mut out = [0u8; 64];
+        r.read(0, &mut out);
+        assert_eq!(out[9], 7);
+        assert_eq!(&out[10..12], b"xy");
+        assert_eq!(out[12], 7);
+    }
+
+    #[test]
+    fn volatile_bytes_accounting() {
+        let mut r = region();
+        assert_eq!(r.volatile_bytes(), 0);
+        r.write(0, &[1u8; 64], StoreMode::Cached);
+        assert_eq!(r.volatile_bytes(), 64);
+        r.write(1000, &[2u8; 100], StoreMode::NonTemporal);
+        assert_eq!(r.volatile_bytes(), 164);
+        r.flush(0, 64);
+        r.fence();
+        assert_eq!(r.volatile_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut r = region();
+        r.write(0, &[0u8; 4096], StoreMode::NonTemporal);
+        r.fence();
+        let mut buf = vec![0u8; 4096];
+        r.read(0, &mut buf);
+        let s = r.stats();
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.bytes_read, 4096);
+        assert_eq!(s.bytes_persisted, 4096);
+        // 4 KB at offset 0 lands entirely on DIMM 0; the read adds 4 KB too.
+        assert_eq!(s.per_dimm_bytes[0], 8192);
+        assert_eq!(s.per_dimm_bytes[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region bounds")]
+    fn out_of_bounds_write_panics() {
+        let mut r = region();
+        r.write((1 << 20) - 2, b"abc", StoreMode::Cached);
+    }
+
+    #[test]
+    fn overlapping_nt_stores_newest_wins() {
+        let mut r = region();
+        r.write(0, b"aaaa", StoreMode::NonTemporal);
+        r.write(2, b"bb", StoreMode::NonTemporal);
+        let mut out = [0u8; 4];
+        r.read(0, &mut out);
+        assert_eq!(&out, b"aabb");
+        r.fence();
+        r.crash();
+        r.read(0, &mut out);
+        assert_eq!(&out, b"aabb");
+    }
+}

@@ -1,0 +1,224 @@
+//! XPBuffer: the device-internal write-combining cache.
+//!
+//! Optane media is accessed in 256-byte *XPLines*, while the CPU issues
+//! 64-byte cache lines. The controller coalesces incoming writes in a small
+//! internal buffer (the XPBuffer, ~16 KB per module per Yang et al.
+//! FAST'20 §3.1); writes smaller than an XPLine that miss the buffer force
+//! a read-modify-write of the full line, so small scattered writes see up
+//! to 4× *write amplification*, and a working set that thrashes the buffer
+//! loses bandwidth — the mechanism behind both the small-access penalty and
+//! the concurrency decline encoded in the profile curves.
+//!
+//! This module is the *mechanistic* model: it processes real write streams
+//! and reports amplification and hit rates. The fluid allocator uses the
+//! profile's aggregated curves; the ablation benches compare the two.
+
+use std::collections::VecDeque;
+
+/// Size of one XPLine (media access granule), bytes.
+pub const XPLINE_BYTES: u64 = 256;
+
+/// Statistics from a write stream processed by the buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct XpBufferStats {
+    /// Bytes the host asked to write.
+    pub host_bytes: u64,
+    /// Bytes actually written to media (evicted XPLines × 256).
+    pub media_bytes: u64,
+    /// Number of host writes that coalesced into a buffered line.
+    pub hits: u64,
+    /// Number of host writes that allocated a new line.
+    pub misses: u64,
+}
+
+impl XpBufferStats {
+    /// Media bytes over host bytes; 1.0 is perfect streaming behaviour,
+    /// 4.0 is the worst case for 64 B random writes.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_bytes == 0 {
+            1.0
+        } else {
+            self.media_bytes as f64 / self.host_bytes as f64
+        }
+    }
+
+    /// Fraction of host writes that hit an already-buffered line.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// FIFO write-combining buffer of XPLines.
+#[derive(Debug, Clone)]
+pub struct XpBuffer {
+    capacity_lines: usize,
+    /// Resident line addresses in FIFO order (front = oldest) with the
+    /// number of valid bytes accumulated for each.
+    resident: VecDeque<(u64, u64)>,
+    stats: XpBufferStats,
+}
+
+impl XpBuffer {
+    /// A buffer holding `capacity_bytes` of XPLines (16 KB on gen-1
+    /// modules).
+    pub fn new(capacity_bytes: u64) -> Self {
+        let capacity_lines = (capacity_bytes / XPLINE_BYTES).max(1) as usize;
+        Self {
+            capacity_lines,
+            resident: VecDeque::with_capacity(capacity_lines),
+            stats: XpBufferStats::default(),
+        }
+    }
+
+    /// Process a host write of `len` bytes at `offset`. Returns the number
+    /// of media bytes written by evictions triggered by this write.
+    pub fn write(&mut self, offset: u64, len: u64) -> u64 {
+        self.stats.host_bytes += len;
+        let mut evicted = 0u64;
+        let first_line = offset / XPLINE_BYTES;
+        let last_line = if len == 0 {
+            first_line
+        } else {
+            (offset + len - 1) / XPLINE_BYTES
+        };
+        for line in first_line..=last_line {
+            let line_start = line * XPLINE_BYTES;
+            let line_end = line_start + XPLINE_BYTES;
+            let covered = (offset + len).min(line_end).saturating_sub(offset.max(line_start));
+            if let Some(slot) = self.resident.iter_mut().find(|(l, _)| *l == line) {
+                self.stats.hits += 1;
+                slot.1 = (slot.1 + covered).min(XPLINE_BYTES);
+            } else {
+                self.stats.misses += 1;
+                if self.resident.len() == self.capacity_lines {
+                    // Evict the oldest line: a full XPLine goes to media.
+                    self.resident.pop_front();
+                    evicted += XPLINE_BYTES;
+                }
+                self.resident.push_back((line, covered.min(XPLINE_BYTES)));
+            }
+        }
+        self.stats.media_bytes += evicted;
+        evicted
+    }
+
+    /// Drain the buffer (a fence or idle flush): everything goes to media.
+    pub fn drain(&mut self) -> u64 {
+        let bytes = self.resident.len() as u64 * XPLINE_BYTES;
+        self.resident.clear();
+        self.stats.media_bytes += bytes;
+        bytes
+    }
+
+    /// Lines currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> XpBufferStats {
+        self.stats
+    }
+
+    /// Reset statistics (buffer contents retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = XpBufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_streaming_amplification_is_one() {
+        let mut buf = XpBuffer::new(16 * 1024);
+        // Write 1 MB sequentially in 256 B chunks.
+        for i in 0..4096u64 {
+            buf.write(i * XPLINE_BYTES, XPLINE_BYTES);
+        }
+        buf.drain();
+        let amp = buf.stats().write_amplification();
+        assert!((amp - 1.0).abs() < 0.05, "amplification {amp}");
+    }
+
+    #[test]
+    fn small_random_writes_amplify() {
+        let mut buf = XpBuffer::new(16 * 1024);
+        // 64 B writes scattered one per XPLine over a large area: every
+        // write eventually evicts a whole 256 B line -> ~4x.
+        for i in 0..4096u64 {
+            buf.write(i * XPLINE_BYTES, 64);
+        }
+        buf.drain();
+        let amp = buf.stats().write_amplification();
+        assert!(amp > 3.5, "amplification {amp}");
+    }
+
+    #[test]
+    fn coalescing_within_line_hits() {
+        let mut buf = XpBuffer::new(16 * 1024);
+        buf.write(0, 64);
+        buf.write(64, 64);
+        buf.write(128, 64);
+        buf.write(192, 64);
+        let s = buf.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(buf.occupancy(), 1);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_evicts() {
+        let mut buf = XpBuffer::new(16 * 1024); // 64 lines
+        for round in 0..10 {
+            for i in 0..64u64 {
+                let e = buf.write(i * XPLINE_BYTES, 64);
+                assert_eq!(e, 0, "round {round} line {i} evicted");
+            }
+        }
+        assert_eq!(buf.occupancy(), 64);
+        assert!(buf.stats().hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn thrashing_evicts_continuously() {
+        let mut buf = XpBuffer::new(16 * 1024); // 64 lines
+        let mut evicted = 0;
+        for i in 0..1000u64 {
+            evicted += buf.write((i % 128) * XPLINE_BYTES, 64);
+        }
+        assert!(evicted > 0);
+        assert!(buf.stats().hit_rate() < 0.1);
+    }
+
+    #[test]
+    fn write_spanning_lines_allocates_each() {
+        let mut buf = XpBuffer::new(16 * 1024);
+        buf.write(128, 256); // covers end of line 0 and start of line 1
+        assert_eq!(buf.occupancy(), 2);
+        assert_eq!(buf.stats().misses, 2);
+    }
+
+    #[test]
+    fn drain_counts_media_bytes() {
+        let mut buf = XpBuffer::new(16 * 1024);
+        buf.write(0, 64);
+        buf.write(1024, 64);
+        let drained = buf.drain();
+        assert_eq!(drained, 2 * XPLINE_BYTES);
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn empty_stats_are_identity() {
+        let s = XpBufferStats::default();
+        assert_eq!(s.write_amplification(), 1.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Structural properties of the Optane allocator and profile that the
+//! scheduling conclusions rely on.
+
+use pmemflow_des::{Direction, FlowAttrs, FlowView, Locality, RateAllocator};
+use pmemflow_pmem::{DeviceProfile, OptaneAllocator};
+use proptest::prelude::*;
+
+fn flow(dir: Direction, loc: Locality, access: u64, sw_tpb: f64) -> FlowView {
+    let p = DeviceProfile::optane_gen1();
+    FlowView {
+        attrs: FlowAttrs {
+            direction: dir,
+            locality: loc,
+            access_bytes: access,
+            sw_time_per_byte: sw_tpb,
+            peak_device_rate: p.single_thread_rate(dir, loc, access),
+        },
+        remaining: 1e9,
+    }
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowView> {
+    (
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        prop_oneof![Just(2048u64), Just(4608), Just(1 << 20), Just(64 << 20)],
+        0u64..3000,
+    )
+        .prop_map(|(read, remote, access, sw_ns_per_kb)| {
+            flow(
+                if read { Direction::Read } else { Direction::Write },
+                if remote { Locality::Remote } else { Locality::Local },
+                access,
+                sw_ns_per_kb as f64 * 1e-9 / 1024.0,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Permutation invariance: reordering the flow set permutes the rates
+    /// identically (no positional bias in the allocator).
+    #[test]
+    fn allocation_is_permutation_invariant(
+        flows in proptest::collection::vec(arb_flow(), 2..12),
+        swap in (0usize..12, 0usize..12),
+    ) {
+        let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
+        let rates = alloc.allocate(&flows);
+        let (i, j) = (swap.0 % flows.len(), swap.1 % flows.len());
+        let mut permuted = flows.clone();
+        permuted.swap(i, j);
+        let rates_p = alloc.allocate(&permuted);
+        // Water-filling breaks ties among equal caps by position, so the
+        // guarantee is equality up to float noise, not bitwise.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.max(b).max(1.0);
+        prop_assert!(close(rates[i], rates_p[j]), "{} vs {}", rates[i], rates_p[j]);
+        prop_assert!(close(rates[j], rates_p[i]), "{} vs {}", rates[j], rates_p[i]);
+        for k in 0..flows.len() {
+            if k != i && k != j {
+                prop_assert!(close(rates[k], rates_p[k]));
+            }
+        }
+    }
+
+    /// Equal flows get equal rates (fairness within a class).
+    #[test]
+    fn identical_flows_get_identical_rates(
+        n in 2usize..24,
+        read in proptest::bool::ANY,
+        remote in proptest::bool::ANY,
+    ) {
+        let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
+        let f = flow(
+            if read { Direction::Read } else { Direction::Write },
+            if remote { Locality::Remote } else { Locality::Local },
+            1 << 20,
+            1e-10,
+        );
+        let flows: Vec<FlowView> = (0..n).map(|_| f.clone()).collect();
+        let rates = alloc.allocate(&flows);
+        for r in &rates {
+            prop_assert!((r - rates[0]).abs() < 1e-6 * rates[0]);
+        }
+    }
+
+    /// Adding a flow never increases anyone else's rate (contention is
+    /// monotone).
+    #[test]
+    fn adding_a_flow_never_speeds_others_up(
+        flows in proptest::collection::vec(arb_flow(), 1..10),
+        extra in arb_flow(),
+    ) {
+        let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
+        let before = alloc.allocate(&flows);
+        let mut more = flows.clone();
+        more.push(extra);
+        let after = alloc.allocate(&more);
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert!(*a <= b * (1.0 + 5e-2), "rate rose from {b} to {a}");
+        }
+    }
+
+    /// Class capacities never go negative or NaN anywhere in the space.
+    #[test]
+    fn class_capacity_is_finite_positive(
+        n_total in 0.0f64..64.0,
+        n_remote_frac in 0.0f64..1.0,
+        access_pow in 6u32..27,
+    ) {
+        let p = DeviceProfile::optane_gen1();
+        let n_remote = n_total * n_remote_frac;
+        for dir in [Direction::Read, Direction::Write] {
+            for loc in [Locality::Local, Locality::Remote] {
+                let c = p.class_capacity(dir, loc, 1u64 << access_pow, n_total, n_remote);
+                prop_assert!(c.is_finite() && c > 0.0, "{dir:?} {loc:?}: {c}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gen1_placement_asymmetries_hold_at_scale() {
+    // The two asymmetries the paper's placement decision rests on, checked
+    // end-to-end through the allocator at 24 ranks.
+    let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
+    let agg = |dir, loc| {
+        let flows: Vec<FlowView> = (0..24).map(|_| flow(dir, loc, 64 << 20, 0.0)).collect();
+        alloc.allocate(&flows).iter().sum::<f64>()
+    };
+    let wl = agg(Direction::Write, Locality::Local);
+    let wr = agg(Direction::Write, Locality::Remote);
+    let rl = agg(Direction::Read, Locality::Local);
+    let rr = agg(Direction::Read, Locality::Remote);
+    // Remote writes lose far more than remote reads.
+    assert!((wl / wr) > (rl / rr) * 1.3, "{wl}/{wr} vs {rl}/{rr}");
+    // Reads outscale writes at high concurrency.
+    assert!(rl > 2.0 * wl);
+}

@@ -1,0 +1,59 @@
+//! Model-driven scheduling: simulate all four configurations, pick the
+//! argmin.
+//!
+//! This is the "oracle within the model" — the paper's future-work
+//! scheduler made concrete: because the device model is cheap and
+//! deterministic, a scheduler can evaluate every Table I configuration
+//! before launching the real job and pick the predicted winner, instead of
+//! pattern-matching workload classes. The rule-based scheduler
+//! ([`crate::recommend`]) is validated against this oracle.
+
+use pmemflow_core::{sweep, ConfigSweep, ExecError, ExecutionParams, SchedConfig};
+use pmemflow_workloads::WorkflowSpec;
+
+/// The oracle's choice plus the full evidence.
+#[derive(Debug, Clone)]
+pub struct ModelDecision {
+    /// Predicted-fastest configuration.
+    pub config: SchedConfig,
+    /// Predicted runtime of that configuration, seconds.
+    pub predicted_runtime: f64,
+    /// Predicted worst-case loss (%) of picking the *worst* configuration
+    /// instead — the price of scheduling blindly.
+    pub misconfiguration_loss_percent: f64,
+    /// The full sweep the decision is based on.
+    pub sweep: ConfigSweep,
+}
+
+/// Simulate all four configurations of `spec` and choose the fastest.
+pub fn decide(spec: &WorkflowSpec, params: &ExecutionParams) -> Result<ModelDecision, ExecError> {
+    let sweep = sweep(spec, params)?;
+    let best = sweep.best();
+    Ok(ModelDecision {
+        config: best.config,
+        predicted_runtime: best.total,
+        misconfiguration_loss_percent: sweep.worst_case_loss_percent(),
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemflow_workloads::micro_64mb;
+
+    #[test]
+    fn oracle_picks_the_sweep_minimum() {
+        let d = decide(&micro_64mb(24), &ExecutionParams::default()).unwrap();
+        for run in &d.sweep.runs {
+            assert!(run.total >= d.predicted_runtime);
+        }
+        assert!(d.misconfiguration_loss_percent > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_micro_prefers_serial_local_write() {
+        let d = decide(&micro_64mb(24), &ExecutionParams::default()).unwrap();
+        assert_eq!(d.config, SchedConfig::S_LOC_W);
+    }
+}

@@ -1,0 +1,198 @@
+//! The 18-workload evaluation suite (§IV-C) with the paper's findings.
+//!
+//! Every entry records which figure panel it reproduces and the
+//! configuration the paper found optimal (Table II + §VI), so the
+//! calibration tests and the Table II bench can check the model's winners
+//! against the paper's.
+
+use crate::apps;
+use crate::spec::WorkflowSpec;
+
+/// The six workload families of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// 64 MB-object microbenchmark (Fig. 4).
+    Micro64MB,
+    /// 2 KB-object microbenchmark (Fig. 5).
+    Micro2KB,
+    /// GTC + Read-Only (Fig. 6).
+    GtcReadOnly,
+    /// GTC + MatrixMult (Fig. 7).
+    GtcMatMul,
+    /// miniAMR + Read-Only (Fig. 8).
+    MiniAmrReadOnly,
+    /// miniAMR + MatrixMult (Fig. 9).
+    MiniAmrMatMul,
+}
+
+impl Family {
+    /// All families.
+    pub fn all() -> [Family; 6] {
+        [
+            Family::Micro64MB,
+            Family::Micro2KB,
+            Family::GtcReadOnly,
+            Family::GtcMatMul,
+            Family::MiniAmrReadOnly,
+            Family::MiniAmrMatMul,
+        ]
+    }
+
+    /// Build the family's workflow at the given rank count.
+    pub fn build(self, ranks: usize) -> WorkflowSpec {
+        match self {
+            Family::Micro64MB => apps::micro_64mb(ranks),
+            Family::Micro2KB => apps::micro_2kb(ranks),
+            Family::GtcReadOnly => apps::gtc_readonly(ranks),
+            Family::GtcMatMul => apps::gtc_matmul(ranks),
+            Family::MiniAmrReadOnly => apps::miniamr_readonly(ranks),
+            Family::MiniAmrMatMul => apps::miniamr_matmul(ranks),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Micro64MB => "micro-64MB",
+            Family::Micro2KB => "micro-2KB",
+            Family::GtcReadOnly => "GTC+ReadOnly",
+            Family::GtcMatMul => "GTC+MatrixMult",
+            Family::MiniAmrReadOnly => "miniAMR+ReadOnly",
+            Family::MiniAmrMatMul => "miniAMR+MatrixMult",
+        }
+    }
+
+    /// The paper figure this family's panels belong to.
+    pub fn figure(self) -> &'static str {
+        match self {
+            Family::Micro64MB => "Fig. 4",
+            Family::Micro2KB => "Fig. 5",
+            Family::GtcReadOnly => "Fig. 6",
+            Family::GtcMatMul => "Fig. 7",
+            Family::MiniAmrReadOnly => "Fig. 8",
+            Family::MiniAmrMatMul => "Fig. 9",
+        }
+    }
+}
+
+/// One suite entry: a workflow at a concurrency level plus the paper's
+/// result for it.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Workload family.
+    pub family: Family,
+    /// Ranks per component.
+    pub ranks: usize,
+    /// The built workflow.
+    pub spec: WorkflowSpec,
+    /// Figure panel, e.g. "Fig. 4c".
+    pub panel: &'static str,
+    /// The configuration the paper found optimal ("S-LocW", "S-LocR",
+    /// "P-LocW" or "P-LocR"); Table II + §VI.
+    pub paper_winner: &'static str,
+    /// Table II row number this workload illustrates (1-based).
+    pub table2_row: u8,
+}
+
+/// Build the full 18-workload suite with the paper's winners.
+pub fn paper_suite() -> Vec<SuiteEntry> {
+    // (family, ranks, panel, winner, table2 row)
+    let rows: [(Family, usize, &'static str, &'static str, u8); 18] = [
+        (Family::Micro64MB, 8, "Fig. 4a", "S-LocW", 1),
+        (Family::Micro64MB, 16, "Fig. 4b", "S-LocW", 1),
+        (Family::Micro64MB, 24, "Fig. 4c", "S-LocW", 1),
+        (Family::Micro2KB, 8, "Fig. 5a", "P-LocR", 9),
+        (Family::Micro2KB, 16, "Fig. 5b", "P-LocR", 9),
+        (Family::Micro2KB, 24, "Fig. 5c", "S-LocR", 5),
+        (Family::GtcReadOnly, 8, "Fig. 6a", "P-LocR", 10),
+        (Family::GtcReadOnly, 16, "Fig. 6b", "S-LocR", 6),
+        (Family::GtcReadOnly, 24, "Fig. 6c", "S-LocW", 2),
+        (Family::GtcMatMul, 8, "Fig. 7a", "P-LocR", 10),
+        (Family::GtcMatMul, 16, "Fig. 7b", "P-LocR", 10),
+        (Family::GtcMatMul, 24, "Fig. 7c", "S-LocW", 2),
+        (Family::MiniAmrReadOnly, 8, "Fig. 8a", "P-LocR", 9),
+        (Family::MiniAmrReadOnly, 16, "Fig. 8b", "S-LocR", 7),
+        (Family::MiniAmrReadOnly, 24, "Fig. 8c", "S-LocW", 3),
+        (Family::MiniAmrMatMul, 8, "Fig. 9a", "P-LocW", 8),
+        (Family::MiniAmrMatMul, 16, "Fig. 9b", "S-LocW", 4),
+        (Family::MiniAmrMatMul, 24, "Fig. 9c", "S-LocW", 4),
+    ];
+    rows.into_iter()
+        .map(|(family, ranks, panel, paper_winner, table2_row)| SuiteEntry {
+            family,
+            ranks,
+            spec: family.build(ranks),
+            panel,
+            paper_winner,
+            table2_row,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_18_entries() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 18);
+        for e in &suite {
+            e.spec.validate().unwrap();
+            assert!(matches!(
+                e.paper_winner,
+                "S-LocW" | "S-LocR" | "P-LocW" | "P-LocR"
+            ));
+            assert!((1..=10).contains(&e.table2_row));
+        }
+    }
+
+    #[test]
+    fn every_family_at_every_level() {
+        let suite = paper_suite();
+        for f in Family::all() {
+            for ranks in [8, 16, 24] {
+                assert_eq!(
+                    suite
+                        .iter()
+                        .filter(|e| e.family == f && e.ranks == ranks)
+                        .count(),
+                    1,
+                    "{f:?} @{ranks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_configs_appear_as_winners() {
+        // §VII "No single optimal configuration".
+        let suite = paper_suite();
+        for cfg in ["S-LocW", "S-LocR", "P-LocW", "P-LocR"] {
+            assert!(
+                suite.iter().any(|e| e.paper_winner == cfg),
+                "{cfg} never wins"
+            );
+        }
+    }
+
+    #[test]
+    fn all_table2_rows_covered() {
+        let suite = paper_suite();
+        for row in 1..=10u8 {
+            assert!(
+                suite.iter().any(|e| e.table2_row == row),
+                "Table II row {row} not illustrated"
+            );
+        }
+    }
+
+    #[test]
+    fn panels_are_unique() {
+        let suite = paper_suite();
+        let mut panels: Vec<_> = suite.iter().map(|e| e.panel).collect();
+        panels.sort();
+        panels.dedup();
+        assert_eq!(panels.len(), 18);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests on workflow specifications and the suite builders.
+
+use pmemflow_workloads::{
+    gtc_matmul, gtc_readonly, micro_2kb, micro_64mb, miniamr_matmul, miniamr_readonly,
+    ConcurrencyClass, IoPattern, SizeClass,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Snapshot bytes = objects × object size for any pattern.
+    #[test]
+    fn snapshot_bytes_is_product(objects in 1u64..1_000_000, size in 1u64..(1 << 28)) {
+        prop_assume!(objects.checked_mul(size).is_some());
+        let io = IoPattern { objects_per_snapshot: objects, object_bytes: size };
+        prop_assert_eq!(io.snapshot_bytes(), objects * size);
+    }
+
+    /// Size classification boundary sits exactly at 1 MiB.
+    #[test]
+    fn size_class_boundary(size in 1u64..(1 << 30)) {
+        let io = IoPattern { objects_per_snapshot: 1, object_bytes: size };
+        if size >= 1 << 20 {
+            prop_assert_eq!(io.size_class(), SizeClass::Large);
+        } else {
+            prop_assert_eq!(io.size_class(), SizeClass::Small);
+        }
+    }
+
+    /// Concurrency classes partition the rank axis without gaps, and the
+    /// canonical rank of each class maps back to it.
+    #[test]
+    fn concurrency_classes_partition(ranks in 1usize..56) {
+        let c = ConcurrencyClass::from_ranks(ranks);
+        prop_assert!(matches!(
+            c,
+            ConcurrencyClass::Low | ConcurrencyClass::Medium | ConcurrencyClass::High
+        ));
+        prop_assert_eq!(ConcurrencyClass::from_ranks(c.ranks()), c);
+    }
+
+    /// Every builder yields a valid workflow at any feasible rank count,
+    /// with total bytes linear in ranks and iterations.
+    #[test]
+    fn builders_validate_at_any_rank_count(ranks in 1usize..28) {
+        for spec in [
+            micro_64mb(ranks),
+            micro_2kb(ranks),
+            gtc_readonly(ranks),
+            gtc_matmul(ranks),
+            miniamr_readonly(ranks),
+            miniamr_matmul(ranks),
+        ] {
+            prop_assert!(spec.validate().is_ok());
+            prop_assert_eq!(
+                spec.total_bytes_written(),
+                spec.ranks as u64 * spec.iterations * spec.writer.io.snapshot_bytes()
+            );
+            // 1:1 exchange invariant.
+            prop_assert_eq!(spec.writer.io, spec.reader.io);
+        }
+    }
+
+    /// with_ranks preserves everything but the rank count.
+    #[test]
+    fn with_ranks_only_changes_ranks(a in 1usize..28, b in 1usize..28) {
+        let s = gtc_matmul(a);
+        let t = s.with_ranks(b);
+        prop_assert_eq!(t.ranks, b);
+        prop_assert_eq!(t.writer, s.writer);
+        prop_assert_eq!(t.reader, s.reader);
+        prop_assert_eq!(t.iterations, s.iterations);
+    }
+}

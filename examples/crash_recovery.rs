@@ -1,0 +1,90 @@
+//! Crash-consistency of the streaming channel.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! The paper's workflows assume the PMEM channel is a reliable versioned
+//! store. This example exercises that assumption: it cuts power (drops all
+//! volatile state) at every interesting point of both stacks' commit
+//! protocols and shows that recovery always yields a consistent prefix of
+//! the published versions — committed data intact, in-flight data cleanly
+//! absent.
+
+use pmemflow::iostack::{CrashPoint, NovaFs, NvStore, ObjectStore};
+use pmemflow::pmem::{InterleaveGeometry, PmemRegion};
+
+fn region() -> PmemRegion {
+    PmemRegion::new(
+        4 << 20,
+        InterleaveGeometry {
+            dimms: 6,
+            chunk_bytes: 4096,
+        },
+    )
+}
+
+fn crash_label(c: CrashPoint) -> &'static str {
+    match c {
+        CrashPoint::AfterDataWrite => "after payload stores (no fence)",
+        CrashPoint::AfterDataPersist => "after payload fence, before metadata",
+        CrashPoint::AfterLogRecord => "after log record, before commit",
+        CrashPoint::None => "no crash",
+    }
+}
+
+fn main() {
+    let snapshot = vec![0x42u8; 100_000];
+
+    println!("— NVStream-like store —");
+    for crash in [
+        CrashPoint::AfterDataWrite,
+        CrashPoint::AfterDataPersist,
+        CrashPoint::AfterLogRecord,
+    ] {
+        let mut store = NvStore::format(region()).unwrap();
+        store.put("sim/rank0", 1, &snapshot).unwrap();
+        store
+            .put_with_crash("sim/rank0", 2, &snapshot, crash)
+            .unwrap();
+        let mut r = store.into_region();
+        let lost = r.crash();
+        let mut recovered = NvStore::recover(r).expect("store is consistent");
+        let versions = recovered.versions("sim/rank0");
+        let v1 = recovered.get("sim/rank0", 1).unwrap();
+        println!(
+            "  power cut {} ({lost} volatile bytes lost): recovered versions {versions:?}, v1 intact: {}",
+            crash_label(crash),
+            v1 == snapshot
+        );
+        assert_eq!(versions, vec![1]);
+    }
+
+    println!("— NOVA-like filesystem —");
+    for crash in [
+        CrashPoint::AfterDataWrite,
+        CrashPoint::AfterDataPersist,
+        CrashPoint::AfterLogRecord,
+    ] {
+        let mut fs = NovaFs::format(region(), 16, 64 * 1024).unwrap();
+        fs.put("sim/rank0", 1, &snapshot).unwrap();
+        fs.put_with_crash("sim/rank0", 2, &snapshot, crash).unwrap();
+        let mut r = fs.into_region();
+        let lost = r.crash();
+        let mut recovered = NovaFs::recover(r).expect("filesystem is consistent");
+        let versions = recovered.versions("sim/rank0");
+        let v1 = recovered.get("sim/rank0", 1).unwrap();
+        println!(
+            "  power cut {} ({lost} volatile bytes lost): recovered versions {versions:?}, v1 intact: {}",
+            crash_label(crash),
+            v1 == snapshot
+        );
+        assert_eq!(versions, vec![1]);
+    }
+
+    println!(
+        "\nEvery crash point left the committed prefix readable and the\n\
+         in-flight version invisible — the durability contract the paper's\n\
+         streaming I/O channel relies on."
+    );
+}

@@ -1,0 +1,51 @@
+//! # pmemflow — scheduling HPC workflows with (simulated) Intel Optane PMEM
+//!
+//! A full reproduction of *Scheduling HPC Workflows with Intel Optane
+//! Persistent Memory* (Venkatesh, Mason, Fernando, Eisenhauer, Gavrilovska
+//! — IPDPS 2021), built as a workspace of substrates:
+//!
+//! | crate | what it provides |
+//! |-------|------------------|
+//! | [`des`] | deterministic fluid discrete-event engine |
+//! | [`pmem`] | Optane gen-1 device model + byte-accurate region with crash semantics |
+//! | [`platform`] | dual-socket node topology and rank pinning |
+//! | [`iostack`] | functional NOVA-like fs and NVStream-like object store |
+//! | [`workloads`] | the paper's 18-workload suite + real proxy kernels |
+//! | [`core`] | Table I configurations, workflow executor, metrics, native mode |
+//! | [`sched`] | rule-based / model-driven / adaptive PMEM-aware schedulers |
+//!
+//! This facade re-exports each crate under a short name and the most
+//! common types at the top level.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmemflow::{sweep, ExecutionParams};
+//! use pmemflow::workloads::micro_64mb;
+//!
+//! // Run the paper's 64 MB microbenchmark at 24 ranks under all four
+//! // scheduler configurations (Table I) on the modeled testbed.
+//! let result = sweep(&micro_64mb(24), &ExecutionParams::default()).unwrap();
+//! println!("winner: {} in {:.1} virtual seconds", result.best().config, result.best().total);
+//! // The paper's Fig. 4c finding: serial, local-write/remote-read wins.
+//! assert_eq!(result.best().config.label(), "S-LocW");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use pmemflow_core as core;
+pub use pmemflow_des as des;
+pub use pmemflow_iostack as iostack;
+pub use pmemflow_platform as platform;
+pub use pmemflow_pmem as pmem;
+pub use pmemflow_sched as sched;
+pub use pmemflow_workloads as workloads;
+
+pub use pmemflow_core::{
+    execute, sweep, ConfigSweep, ExecMode, ExecutionParams, Placement, RunMetrics, SchedConfig,
+};
+pub use pmemflow_pmem::DeviceProfile;
+pub use pmemflow_sched::{characterize, decide, explore_then_commit, recommend, RuleThresholds};
+pub use pmemflow_workloads::{paper_suite, WorkflowSpec};

@@ -1,0 +1,206 @@
+//! `pmemflow` — command-line front end for the reproduction.
+//!
+//! ```text
+//! pmemflow sweep        --workload gtc-readonly --ranks 16 [--stack nova]
+//! pmemflow characterize --workload miniamr-matmult --ranks 8
+//! pmemflow recommend    --workload micro-2kb --ranks 24
+//! pmemflow plan         --workload gtc-matmult --deadline 30 --candidates 8,16,24
+//! pmemflow gantt        --workload micro-64mb --ranks 8 --config P-LocW [--chrome out.json]
+//! pmemflow suite
+//! pmemflow devicebench
+//! pmemflow help
+//! ```
+
+use pmemflow::cli::{
+    config_by_name, parse_rank_list, stack_by_name, workload_by_name, Args, WORKLOAD_CHOICES,
+};
+use pmemflow::core::report::panel_table;
+use pmemflow::pmem::{bandwidth_table, headline_ratios, DeviceProfile, GB};
+use pmemflow::sched::{characterize, classify, plan, recommend, RuleThresholds};
+use pmemflow::{decide, execute, paper_suite, sweep, ExecutionParams, SchedConfig};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+pmemflow — PMEM-aware in situ workflow scheduling (IPDPS 2021 reproduction)
+
+USAGE: pmemflow <command> [--option value]...
+
+COMMANDS:
+  sweep         run a workload under all four Table I configurations
+                  --workload NAME   (required; see below)
+                  --ranks N         (default 8)
+                  --stack nvstream|nova
+  characterize  measure a workload's scheduling profile (I/O indexes, ...)
+                  --workload NAME --ranks N
+  recommend     rule-based + model-driven + Table II recommendations
+                  --workload NAME --ranks N
+  plan          choose rank count + config for a deadline
+                  --workload NAME --deadline SECONDS --candidates 8,16,24
+  gantt         render rank timelines for one configuration
+                  --workload NAME --ranks N --config S-LocW [--chrome FILE]
+  suite         run the full 18-workload suite vs the paper's Table II
+  devicebench   print the modeled §II-B device characterization
+  help          this text
+
+WORKLOADS: micro-64mb, micro-2kb, gtc-readonly, gtc-matmult,
+           miniamr-readonly, miniamr-matmult";
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    let mut params = ExecutionParams::default();
+    if let Some(stack) = args.get("stack") {
+        params.stack = stack_by_name(Some(stack))?;
+    }
+    let ranks: usize = args.get_parse("ranks", 8, "a rank count")?;
+    let need_workload = || -> Result<_, Box<dyn std::error::Error>> {
+        let name = args.get("workload").ok_or_else(|| {
+            format!("--workload is required; choices: {WORKLOAD_CHOICES}")
+        })?;
+        Ok(workload_by_name(name, ranks)?)
+    };
+
+    match args.command.as_str() {
+        "sweep" => {
+            let spec = need_workload()?;
+            let result = sweep(&spec, &params)?;
+            print!("{}", panel_table(&result));
+            println!(
+                "misconfiguration cost: up to {:.0}%",
+                result.worst_case_loss_percent()
+            );
+        }
+        "characterize" => {
+            let spec = need_workload()?;
+            let p = characterize(&spec, &params)?;
+            println!("workflow: {}", p.name);
+            println!("  sim      compute={:<7} write={:<7} I/O index {:.2}",
+                p.sim_compute.label(), p.sim_write.label(), p.sim_io_index);
+            println!("  analytics compute={:<7} read={:<8} I/O index {:.2}",
+                p.analytics_compute.label(), p.analytics_read.label(), p.analytics_io_index);
+            println!("  effective device concurrency: sim {:.1} + analytics {:.1} = {:.1}",
+                p.sim_device_concurrency, p.analytics_device_concurrency,
+                p.combined_device_concurrency());
+            println!("  write saturation: {:.2} ({}constrained)",
+                p.write_saturation,
+                if p.is_bandwidth_constrained() { "" } else { "not " });
+        }
+        "recommend" => {
+            let spec = need_workload()?;
+            let profile = characterize(&spec, &params)?;
+            let rule = recommend(&profile, &RuleThresholds::default());
+            println!("rule-based: {}", rule.config);
+            for r in &rule.reasons {
+                println!("  - {r}");
+            }
+            if let Some(row) = classify(&profile) {
+                println!("Table II row {}: {} ({})", row.row, row.config, row.illustrated_by);
+            } else {
+                println!("Table II: no row covers this workload class");
+            }
+            let oracle = decide(&spec, &params)?;
+            println!(
+                "model-driven: {} ({:.1}s predicted; worst config costs +{:.0}%)",
+                oracle.config, oracle.predicted_runtime, oracle.misconfiguration_loss_percent
+            );
+        }
+        "plan" => {
+            let spec = need_workload()?;
+            let deadline: f64 = args.get_parse("deadline", f64::INFINITY, "seconds")?;
+            let candidates = match args.get("candidates") {
+                Some(c) => parse_rank_list(c)?,
+                None => vec![8, 16, 24],
+            };
+            let p = plan(&spec, &candidates, deadline, &params)?;
+            println!("ranks  config   runtime_s  core_seconds  efficiency");
+            for pt in &p.frontier {
+                println!(
+                    "{:>5}  {:<7}  {:>9.1}  {:>12.0}  {:>9.2}",
+                    pt.ranks, pt.config.label(), pt.runtime, pt.core_seconds, pt.efficiency
+                );
+            }
+            match p.chosen {
+                Some(pt) => println!(
+                    "\nchosen: {} ranks under {} ({:.1}s ≤ deadline)",
+                    pt.ranks, pt.config, pt.runtime
+                ),
+                None => println!("\nno candidate meets the deadline"),
+            }
+        }
+        "gantt" => {
+            let spec = need_workload()?;
+            let config = config_by_name(args.get("config"))?.unwrap_or(SchedConfig::P_LOC_R);
+            params.record_timeline = true;
+            let m = execute(&spec, config, &params)?;
+            let tl = m.timeline.as_ref().expect("timeline recorded");
+            println!("{} under {} — {:.1}s total", spec.name, config, m.total);
+            print!("{}", tl.ascii_gantt(100));
+            println!(
+                "device saw ≥2 concurrent I/O flows {:.0}% of the run",
+                tl.io_overlap_fraction(2) * 100.0
+            );
+            if let Some(path) = args.get("chrome") {
+                std::fs::write(path, tl.chrome_trace_json())?;
+                println!("chrome trace written to {path}");
+            }
+        }
+        "suite" => {
+            let mut agree = 0;
+            println!("panel     workload                ranks  model    paper   ");
+            for entry in paper_suite() {
+                let sw = sweep(&entry.spec, &params)?;
+                let model = sw.best().config;
+                let ok = model.label() == entry.paper_winner;
+                if ok {
+                    agree += 1;
+                }
+                println!(
+                    "{:<9} {:<23} {:>5}  {:<7}  {:<7} {}",
+                    entry.panel,
+                    entry.family.name(),
+                    entry.ranks,
+                    model.label(),
+                    entry.paper_winner,
+                    if ok { "" } else { "<-- differs" }
+                );
+            }
+            println!("\nagreement with the paper's Table II: {agree}/18");
+        }
+        "devicebench" => {
+            let profile = DeviceProfile::optane_gen1();
+            println!("threads  local-read  local-write  remote-read  remote-write (GB/s)");
+            for row in bandwidth_table(&profile, &[1.0, 4.0, 8.0, 17.0, 24.0]) {
+                println!(
+                    "{:>7.0} {:>11.1} {:>12.1} {:>12.1} {:>13.1}",
+                    row.threads,
+                    row.local_read / GB,
+                    row.local_write / GB,
+                    row.remote_read / GB,
+                    row.remote_write / GB
+                );
+            }
+            let h = headline_ratios(&profile);
+            println!(
+                "latency write/read: {:.0}/{:.0} ns; remote drop @24: write {:.1}x read {:.2}x",
+                h.write_latency * 1e9,
+                h.read_latency * 1e9,
+                h.write_drop_at_24,
+                h.read_drop_at_24
+            );
+        }
+        "help" | "--help" | "-h" => println!("{HELP}"),
+        other => {
+            return Err(format!("unknown command {other:?}; try `pmemflow help`").into());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `pmemflow` command-line binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pmemflow"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["sweep", "characterize", "recommend", "plan", "suite", "devicebench"] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn sweep_prints_four_configs() {
+    let (ok, stdout, _) = run(&["sweep", "--workload", "micro-64mb", "--ranks", "8"]);
+    assert!(ok, "{stdout}");
+    for c in ["S-LocW", "S-LocR", "P-LocW", "P-LocR"] {
+        assert!(stdout.contains(c));
+    }
+    assert!(stdout.contains("best"));
+}
+
+#[test]
+fn recommend_cites_rules_and_oracle() {
+    let (ok, stdout, _) = run(&["recommend", "--workload", "gtc-readonly", "--ranks", "16"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("rule-based:"));
+    assert!(stdout.contains("model-driven:"));
+    assert!(stdout.contains("§VIII"));
+}
+
+#[test]
+fn characterize_reports_profile() {
+    let (ok, stdout, _) = run(&["characterize", "--workload", "miniamr-readonly", "--ranks", "8"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("I/O index"));
+    assert!(stdout.contains("write saturation"));
+}
+
+#[test]
+fn plan_reports_frontier() {
+    let (ok, stdout, _) = run(&[
+        "plan",
+        "--workload",
+        "micro-2kb",
+        "--deadline",
+        "100",
+        "--candidates",
+        "8,16",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("core_seconds"));
+    assert!(stdout.contains("chosen:"));
+}
+
+#[test]
+fn devicebench_prints_headlines() {
+    let (ok, stdout, _) = run(&["devicebench"]);
+    assert!(ok);
+    assert!(stdout.contains("90"));
+    assert!(stdout.contains("169"));
+}
+
+#[test]
+fn gantt_renders() {
+    let (ok, stdout, _) = run(&[
+        "gantt",
+        "--workload",
+        "micro-64mb",
+        "--ranks",
+        "4",
+        "--config",
+        "S-LocW",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("legend"));
+}
+
+#[test]
+fn errors_are_friendly() {
+    let (ok, _, stderr) = run(&["sweep", "--workload", "hpl"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"));
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = run(&["sweep"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workload is required"));
+}

@@ -1,0 +1,48 @@
+//! Whole-system determinism: identical inputs yield bit-identical results
+//! across the entire pipeline — the property that makes the model-driven
+//! scheduler's predictions reproducible and the calibration meaningful.
+
+use pmemflow::{paper_suite, sweep, ExecutionParams};
+
+#[test]
+fn suite_sweeps_are_bitwise_deterministic() {
+    let params = ExecutionParams::default();
+    for entry in paper_suite().into_iter().step_by(4) {
+        let a = sweep(&entry.spec, &params).unwrap();
+        let b = sweep(&entry.spec, &params).unwrap();
+        for (ra, rb) in a.runs.iter().zip(b.runs.iter()) {
+            assert_eq!(
+                ra.total.to_bits(),
+                rb.total.to_bits(),
+                "nondeterministic total for {} under {}",
+                entry.spec.name,
+                ra.config
+            );
+            assert_eq!(ra.events, rb.events);
+            assert_eq!(
+                ra.writer.finish_time.to_bits(),
+                rb.writer.finish_time.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn results_are_independent_of_run_order() {
+    // Running config sweeps in different orders must not change any
+    // result (no hidden global state).
+    let params = ExecutionParams::default();
+    let spec = paper_suite()[2].spec.clone();
+    let forward: Vec<f64> = pmemflow::SchedConfig::ALL
+        .iter()
+        .map(|&c| pmemflow::execute(&spec, c, &params).unwrap().total)
+        .collect();
+    let backward: Vec<f64> = pmemflow::SchedConfig::ALL
+        .iter()
+        .rev()
+        .map(|&c| pmemflow::execute(&spec, c, &params).unwrap().total)
+        .collect();
+    for (f, b) in forward.iter().zip(backward.iter().rev()) {
+        assert_eq!(f.to_bits(), b.to_bits());
+    }
+}
