@@ -1,16 +1,25 @@
-//! Criterion benchmarks of the Optane rate allocator — the innermost loop
-//! of the fluid engine (called on every flow arrival/departure).
+//! Benchmarks of the Optane rate allocator — the innermost loop of the
+//! fluid engine (called on every flow arrival/departure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmemflow_bench::harness::bench;
 use pmemflow_des::{Direction, FlowAttrs, FlowView, Locality, RateAllocator};
 use pmemflow_pmem::{DeviceProfile, OptaneAllocator};
+use std::hint::black_box;
 
 fn flows(n: usize) -> Vec<FlowView> {
     let p = DeviceProfile::optane_gen1();
     (0..n)
         .map(|i| {
-            let dir = if i % 2 == 0 { Direction::Write } else { Direction::Read };
-            let loc = if i % 3 == 0 { Locality::Remote } else { Locality::Local };
+            let dir = if i % 2 == 0 {
+                Direction::Write
+            } else {
+                Direction::Read
+            };
+            let loc = if i % 3 == 0 {
+                Locality::Remote
+            } else {
+                Locality::Local
+            };
             let access = if i % 2 == 0 { 2048 } else { 64 << 20 };
             FlowView {
                 attrs: FlowAttrs {
@@ -26,24 +35,17 @@ fn flows(n: usize) -> Vec<FlowView> {
         .collect()
 }
 
-fn bench_allocate(c: &mut Criterion) {
+fn main() {
     let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
-    let mut group = c.benchmark_group("allocate");
     for n in [1usize, 8, 16, 48] {
         let fs = flows(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &fs, |b, fs| {
-            b.iter(|| alloc.allocate(fs));
+        bench(&format!("allocate/{n}"), || {
+            black_box(alloc.allocate(black_box(&fs)));
         });
     }
-    group.finish();
-}
 
-fn bench_water_fill(c: &mut Criterion) {
     let caps: Vec<f64> = (0..48).map(|i| 1.0 + (i % 7) as f64).collect();
-    c.bench_function("water_fill/48", |b| {
-        b.iter(|| pmemflow_des::water_fill(&caps, 20.0));
+    bench("water_fill/48", || {
+        black_box(pmemflow_des::water_fill(black_box(&caps), 20.0));
     });
 }
-
-criterion_group!(benches, bench_allocate, bench_water_fill);
-criterion_main!(benches);

@@ -1,56 +1,33 @@
-//! Criterion benchmarks of the discrete-event engine itself: how fast the
-//! simulator turns workflow specifications into timelines. Relevant
-//! because the model-driven scheduler runs four simulations per decision
-//! and the adaptive benches run hundreds.
+//! Benchmarks of the discrete-event engine itself: how fast the simulator
+//! turns workflow specifications into timelines. Relevant because the
+//! model-driven scheduler runs four simulations per decision, the adaptive
+//! benches run hundreds, and the suite runner fans 144 of them out at once.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmemflow_bench::harness::bench;
 use pmemflow_core::{execute, sweep, ExecutionParams, SchedConfig};
 use pmemflow_workloads::{gtc_matmul, micro_2kb, micro_64mb};
 
-fn bench_single_execution(c: &mut Criterion) {
+fn main() {
     let params = ExecutionParams::default();
-    let mut group = c.benchmark_group("execute");
-    group.sample_size(10);
     for (name, spec) in [
-        ("micro-64MB@24", micro_64mb(24)),
-        ("micro-2KB@24", micro_2kb(24)),
-        ("gtc+matmult@16", gtc_matmul(16)),
+        ("execute/micro-64MB@24", micro_64mb(24)),
+        ("execute/micro-2KB@24", micro_2kb(24)),
+        ("execute/gtc+matmult@16", gtc_matmul(16)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| execute(spec, SchedConfig::P_LOC_R, &params).unwrap());
+        bench(name, || {
+            execute(&spec, SchedConfig::P_LOC_R, &params).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_full_sweep(c: &mut Criterion) {
-    let params = ExecutionParams::default();
     let spec = micro_64mb(24);
-    let mut group = c.benchmark_group("sweep");
-    group.sample_size(10);
-    group.bench_function("micro-64MB@24 (4 configs)", |b| {
-        b.iter(|| sweep(&spec, &params).unwrap());
+    bench("sweep/micro-64MB@24 (4 configs)", || {
+        sweep(&spec, &params).unwrap();
     });
-    group.finish();
-}
 
-fn bench_scaling_with_ranks(c: &mut Criterion) {
-    let params = ExecutionParams::default();
-    let mut group = c.benchmark_group("execute-scaling");
-    group.sample_size(10);
-    for ranks in [4usize, 8, 16, 24] {
+    for ranks in [8usize, 16, 24] {
         let spec = micro_64mb(ranks);
-        group.bench_with_input(BenchmarkId::from_parameter(ranks), &spec, |b, spec| {
-            b.iter(|| execute(spec, SchedConfig::P_LOC_W, &params).unwrap());
+        bench(&format!("execute-scaling/micro-64MB@{ranks}"), || {
+            execute(&spec, SchedConfig::P_LOC_R, &params).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_single_execution,
-    bench_full_sweep,
-    bench_scaling_with_ranks
-);
-criterion_main!(benches);

@@ -1,33 +1,28 @@
-//! Criterion benchmarks of the real proxy compute kernels — the
-//! measurements behind the virtual `compute_per_iteration` constants
-//! (run these on target hardware and scale the workload specs).
+//! Benchmarks of the real proxy compute kernels — the measurements behind
+//! the virtual `compute_per_iteration` constants (run these on target
+//! hardware and scale the workload specs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmemflow_bench::harness::bench;
 use pmemflow_workloads::kernels::{matmul, pic_step, stencil7, Particle};
+use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
     for &n in &[16usize, 64, 128] {
         let a: Vec<f64> = (0..n * n).map(|i| (i % 97) as f64).collect();
-        let b_: Vec<f64> = (0..n * n).map(|i| (i % 89) as f64).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
-            let mut out = vec![0.0; n * n];
-            bch.iter(|| matmul(n, &a, &b_, &mut out));
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 89) as f64).collect();
+        let mut out = vec![0.0; n * n];
+        bench(&format!("matmul/{n}"), || {
+            matmul(n, black_box(&a), black_box(&b), &mut out);
         });
     }
-    group.finish();
-}
 
-fn bench_stencil(c: &mut Criterion) {
     let (nx, ny, nz) = (32, 32, 32);
     let src = vec![1.0; nx * ny * nz];
     let mut dst = vec![0.0; nx * ny * nz];
-    c.bench_function("stencil7/32^3", |b| {
-        b.iter(|| stencil7(nx, ny, nz, &src, &mut dst));
+    bench("stencil7/32^3", || {
+        stencil7(nx, ny, nz, black_box(&src), &mut dst);
     });
-}
 
-fn bench_pic(c: &mut Criterion) {
     let mut particles: Vec<Particle> = (0..10_000)
         .map(|i| Particle {
             x: (i as f64 * 0.618_033_988) % 1.0,
@@ -36,10 +31,7 @@ fn bench_pic(c: &mut Criterion) {
         })
         .collect();
     let mut grid = vec![0.0; 256];
-    c.bench_function("pic_step/10k-particles", |b| {
-        b.iter(|| pic_step(&mut particles, &mut grid, 0.01));
+    bench("pic_step/10k-particles", || {
+        pic_step(&mut particles, &mut grid, 0.01);
     });
 }
-
-criterion_group!(benches, bench_matmul, bench_stencil, bench_pic);
-criterion_main!(benches);

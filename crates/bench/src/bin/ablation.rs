@@ -44,12 +44,30 @@ fn variants() -> Vec<Variant> {
     symmetric.profile = DeviceProfile::symmetric_ideal(13.9 * GB);
 
     vec![
-        Variant { name: "full model", params: base },
-        Variant { name: "no remote-write collapse", params: no_collapse },
-        Variant { name: "no mixing penalty", params: no_mix },
-        Variant { name: "no small-access penalty", params: no_small },
-        Variant { name: "lockstep ranks (no stagger)", params: lockstep },
-        Variant { name: "symmetric ideal device", params: symmetric },
+        Variant {
+            name: "full model",
+            params: base,
+        },
+        Variant {
+            name: "no remote-write collapse",
+            params: no_collapse,
+        },
+        Variant {
+            name: "no mixing penalty",
+            params: no_mix,
+        },
+        Variant {
+            name: "no small-access penalty",
+            params: no_small,
+        },
+        Variant {
+            name: "lockstep ranks (no stagger)",
+            params: lockstep,
+        },
+        Variant {
+            name: "symmetric ideal device",
+            params: symmetric,
+        },
     ]
 }
 

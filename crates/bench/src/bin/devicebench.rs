@@ -12,8 +12,10 @@ fn main() {
         "{:>7} {:>10} {:>11} {:>11} {:>12} {:>14}",
         "threads", "local-read", "local-write", "remote-read", "remote-write", "rw-random-4K"
     );
-    for row in bandwidth_table(&profile, &[1.0, 2.0, 3.0, 4.0, 8.0, 12.0, 16.0, 17.0, 24.0, 48.0])
-    {
+    for row in bandwidth_table(
+        &profile,
+        &[1.0, 2.0, 3.0, 4.0, 8.0, 12.0, 16.0, 17.0, 24.0, 48.0],
+    ) {
         println!(
             "{:>7.0} {:>10.1} {:>11.1} {:>11.1} {:>12.1} {:>14.2}",
             row.threads,
@@ -26,7 +28,10 @@ fn main() {
     }
 
     println!("\nloaded latency vs concurrency (ns):");
-    println!("{:>7} {:>11} {:>11}", "threads", "read-local", "write-local");
+    println!(
+        "{:>7} {:>11} {:>11}",
+        "threads", "read-local", "write-local"
+    );
     for n in [0.0, 1.0, 4.0, 8.0, 17.0, 24.0] {
         use pmemflow_des::{Direction, Locality};
         println!(

@@ -15,11 +15,10 @@ fn main() {
     let ro = sweep(&miniamr_readonly(ranks), &params).unwrap();
     let mm = sweep(&miniamr_matmul(ranks), &params).unwrap();
 
-    println!("Fig. 1: miniAMR workflows at {ranks} ranks, runtime normalized to each workflow's best\n");
     println!(
-        "{:<22} {:>10} {:>10}",
-        "config", "+ReadOnly", "+MatrixMult"
+        "Fig. 1: miniAMR workflows at {ranks} ranks, runtime normalized to each workflow's best\n"
     );
+    println!("{:<22} {:>10} {:>10}", "config", "+ReadOnly", "+MatrixMult");
     for config in SchedConfig::ALL {
         println!(
             "{:<22} {:>9.2}x {:>9.2}x",

@@ -7,5 +7,8 @@ use pmemflow_core::ExecutionParams;
 use pmemflow_workloads::Family;
 
 fn main() {
-    print!("{}", figure_for_family(Family::MiniAmrReadOnly, &ExecutionParams::default()));
+    print!(
+        "{}",
+        figure_for_family(Family::MiniAmrReadOnly, &ExecutionParams::default())
+    );
 }

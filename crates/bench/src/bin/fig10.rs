@@ -18,7 +18,10 @@ fn main() {
     ];
     let mut worst_loss: f64 = 0.0;
     for (panel, family) in panels {
-        println!("(Fig. {panel}) {} — normalized runtime (1.00 = best)", family.name());
+        println!(
+            "(Fig. {panel}) {} — normalized runtime (1.00 = best)",
+            family.name()
+        );
         println!(
             "  {:<6} {:>8} {:>8} {:>8} {:>8}",
             "ranks", "S-LocW", "S-LocR", "P-LocW", "P-LocR"

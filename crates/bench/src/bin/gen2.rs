@@ -13,9 +13,7 @@ use pmemflow_pmem::DeviceProfile;
 
 fn main() {
     let gen1 = run_suite(&ExecutionParams::default());
-    let gen2 = run_suite(
-        &ExecutionParams::default().with_profile(DeviceProfile::optane_gen2()),
-    );
+    let gen2 = run_suite(&ExecutionParams::default().with_profile(DeviceProfile::optane_gen2()));
     println!(
         "{:<22} {:>5}  {:>8} {:>8}  {:>9} {:>9}",
         "workload", "ranks", "gen1", "gen2", "t1(s)", "t2(s)"

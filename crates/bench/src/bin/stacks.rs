@@ -43,7 +43,11 @@ fn main() {
         let agree = winners[0] == winners[1];
         println!(
             "    -> winners {} across stacks\n",
-            if agree { "agree" } else { "differ (software-overhead effect)" }
+            if agree {
+                "agree"
+            } else {
+                "differ (software-overhead effect)"
+            }
         );
     }
     println!(

@@ -12,11 +12,10 @@
 //! how they were derived and lets anyone re-derive them.
 
 use pmemflow_core::{sweep, ExecutionParams, SchedConfig};
+use pmemflow_des::rng::SplitMix64;
 use pmemflow_iostack::{StackCostModel, StackKind};
 use pmemflow_pmem::{Curve, DeviceProfile, GB};
 use pmemflow_workloads::{paper_suite, Family};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone, Copy)]
 struct Knobs {
@@ -79,36 +78,36 @@ impl Knobs {
         }
     }
 
-    fn random(rng: &mut StdRng) -> Knobs {
+    fn random(rng: &mut SplitMix64) -> Knobs {
         Knobs {
-            rw3: rng.gen_range(5.5..11.0),
-            rw8: rng.gen_range(5.0..12.0),
-            rw12: rng.gen_range(4.5..10.5),
-            rw16: rng.gen_range(3.5..8.0),
-            rw24: rng.gen_range(2.4..5.5),
-            rr_low: rng.gen_range(1.02..1.22),
-            mix_knee: rng.gen_range(8.0..28.0),
-            mix_mid: rng.gen_range(0.35..1.0),
-            mix_floor: rng.gen_range(0.2..0.95),
-            smix_knee: rng.gen_range(6.0..24.0),
-            smix_mid: rng.gen_range(0.3..1.0),
-            smix_floor: rng.gen_range(0.15..0.85),
-            gtc_c: rng.gen_range(0.4..2.5),
-            gtc_mm: rng.gen_range(0.2..2.2),
-            amr_c: rng.gen_range(0.01..0.3),
-            amr_mm: rng.gen_range(0.2..1.5),
-            nvs_wop: rng.gen_range(1.5e-6..6.0e-6),
-            nvs_rop: rng.gen_range(0.5e-6..2.6e-6),
-            nvs_wb: rng.gen_range(0.1e-9..0.5e-9),
-            nvs_rb: rng.gen_range(0.1e-9..0.45e-9),
-            stagger: rng.gen_range(0.0..2.5),
+            rw3: rng.range_f64(5.5, 11.0),
+            rw8: rng.range_f64(5.0, 12.0),
+            rw12: rng.range_f64(4.5, 10.5),
+            rw16: rng.range_f64(3.5, 8.0),
+            rw24: rng.range_f64(2.4, 5.5),
+            rr_low: rng.range_f64(1.02, 1.22),
+            mix_knee: rng.range_f64(8.0, 28.0),
+            mix_mid: rng.range_f64(0.35, 1.0),
+            mix_floor: rng.range_f64(0.2, 0.95),
+            smix_knee: rng.range_f64(6.0, 24.0),
+            smix_mid: rng.range_f64(0.3, 1.0),
+            smix_floor: rng.range_f64(0.15, 0.85),
+            gtc_c: rng.range_f64(0.4, 2.5),
+            gtc_mm: rng.range_f64(0.2, 2.2),
+            amr_c: rng.range_f64(0.01, 0.3),
+            amr_mm: rng.range_f64(0.2, 1.5),
+            nvs_wop: rng.range_f64(1.5e-6, 6.0e-6),
+            nvs_rop: rng.range_f64(0.5e-6, 2.6e-6),
+            nvs_wb: rng.range_f64(0.1e-9, 0.5e-9),
+            nvs_rb: rng.range_f64(0.1e-9, 0.45e-9),
+            stagger: rng.range_f64(0.0, 2.5),
         }
     }
 
-    fn perturb(&self, rng: &mut StdRng, scale: f64) -> Knobs {
+    fn perturb(&self, rng: &mut SplitMix64, scale: f64) -> Knobs {
         let mut k = *self;
-        let m = |rng: &mut StdRng, v: f64, lo: f64, hi: f64| {
-            (v * (1.0 + rng.gen_range(-scale..scale))).clamp(lo, hi)
+        let m = |rng: &mut SplitMix64, v: f64, lo: f64, hi: f64| {
+            (v * (1.0 + rng.range_f64(-scale, scale))).clamp(lo, hi)
         };
         k.rw3 = m(rng, k.rw3, 5.5, 11.0);
         k.rw8 = m(rng, k.rw8, 5.0, 12.0);
@@ -130,7 +129,7 @@ impl Knobs {
         k.nvs_rop = m(rng, k.nvs_rop, 0.5e-6, 2.6e-6);
         k.nvs_wb = m(rng, k.nvs_wb, 0.1e-9, 0.5e-9);
         k.nvs_rb = m(rng, k.nvs_rb, 0.1e-9, 0.45e-9);
-        k.stagger = (k.stagger + rng.gen_range(-scale..scale)).clamp(0.0, 2.5);
+        k.stagger = (k.stagger + rng.range_f64(-scale, scale)).clamp(0.0, 2.5);
         k
     }
 
@@ -231,7 +230,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
-    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut rng = SplitMix64::new(0x5eed);
     let mut best = Knobs::current();
     let (mut best_agree, mut best_score) = evaluate(&best);
     println!("start: agree={best_agree}/18 score={best_score:.1}");
@@ -248,7 +247,10 @@ fn main() {
             })
             .collect();
         let results: Vec<(usize, f64)> = std::thread::scope(|sc| {
-            let handles: Vec<_> = cands.iter().map(|c| sc.spawn(move || evaluate(c))).collect();
+            let handles: Vec<_> = cands
+                .iter()
+                .map(|c| sc.spawn(move || evaluate(c)))
+                .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for (cand, (agree, score)) in cands.into_iter().zip(results) {
@@ -294,7 +296,11 @@ fn main() {
             t(SchedConfig::P_LOC_R),
             sw.best().config.label(),
             entry.paper_winner,
-            if sw.best().config.label() == entry.paper_winner { "" } else { "  <-- MISS" },
+            if sw.best().config.label() == entry.paper_winner {
+                ""
+            } else {
+                "  <-- MISS"
+            },
         );
     }
 }

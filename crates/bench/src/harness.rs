@@ -1,0 +1,131 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! targets use this dependency-free harness instead of Criterion: each
+//! routine is warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, and the per-iteration time is printed in a
+//! `name ... ns/iter` format. Statistical rigor is deliberately modest —
+//! these benches exist to catch order-of-magnitude regressions and to
+//! document how the substrates scale, not to resolve single-percent deltas.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one routine.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Target wall-clock time spent warming one routine up.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Measured result of one routine.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean nanoseconds per iteration over the measurement window.
+    pub ns_per_iter: f64,
+    /// Iterations executed inside the window.
+    pub iters: u64,
+}
+
+fn run_window<F: FnMut()>(window: Duration, f: &mut F) -> Measurement {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < window {
+        f();
+        iters += 1;
+    }
+    let elapsed = start.elapsed();
+    Measurement {
+        ns_per_iter: elapsed.as_nanos() as f64 / iters.max(1) as f64,
+        iters,
+    }
+}
+
+/// Time `f` and print `name: X ns/iter`. Returns the measurement so
+/// callers can derive throughputs.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Measurement {
+    run_window(WARMUP_WINDOW, &mut f);
+    let m = run_window(MEASURE_WINDOW, &mut f);
+    println!(
+        "{name:<44} {:>12.0} ns/iter  ({} iters)",
+        m.ns_per_iter, m.iters
+    );
+    m
+}
+
+/// Time `routine` over values produced by `setup`, excluding setup cost.
+/// Used where the routine consumes its input (e.g. crash-recovery).
+pub fn bench_with_setup<T, S, R, O>(name: &str, mut setup: S, mut routine: R) -> Measurement
+where
+    S: FnMut() -> T,
+    R: FnMut(T) -> O,
+{
+    // Warm up (setup + routine together).
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP_WINDOW {
+        black_box(routine(setup()));
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < MEASURE_WINDOW {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        total += t0.elapsed();
+        iters += 1;
+    }
+    let m = Measurement {
+        ns_per_iter: total.as_nanos() as f64 / iters.max(1) as f64,
+        iters,
+    };
+    println!(
+        "{name:<44} {:>12.0} ns/iter  ({} iters)",
+        m.ns_per_iter, m.iters
+    );
+    m
+}
+
+/// Print a `GB/s`-style throughput line for a byte-moving measurement.
+pub fn report_throughput(name: &str, bytes_per_iter: u64, m: Measurement) {
+    let gbps = bytes_per_iter as f64 / m.ns_per_iter;
+    println!("{name:<44} {gbps:>12.2} GB/s");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let mut x = 0u64;
+        let m = run_window(Duration::from_millis(5), &mut || {
+            x = x.wrapping_add(black_box(1));
+        });
+        assert!(m.iters > 0);
+        assert!(m.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn setup_cost_excluded() {
+        // A deliberately slow setup with a trivial routine: per-iter cost
+        // must reflect the routine, not the setup.
+        let m = {
+            let mut total = Duration::ZERO;
+            let mut iters = 0u64;
+            while total < Duration::from_millis(5) {
+                let v = vec![0u8; 1 << 16];
+                let t0 = Instant::now();
+                black_box(v.len());
+                total += t0.elapsed();
+                iters += 1;
+            }
+            Measurement {
+                ns_per_iter: total.as_nanos() as f64 / iters as f64,
+                iters,
+            }
+        };
+        assert!(
+            m.ns_per_iter < 10_000.0,
+            "routine cost {} ns",
+            m.ns_per_iter
+        );
+    }
+}

@@ -1,14 +1,16 @@
 //! # pmemflow-bench — benchmark and figure-regeneration harness
 //!
-//! One binary per paper table/figure (see `src/bin/`), plus Criterion
-//! microbenchmarks of the substrates (see `benches/`). This library holds
-//! the shared harness: sweeping the 18-workload suite and formatting
-//! results next to the paper's claims.
+//! One binary per paper table/figure (see `src/bin/`), plus dependency-free
+//! microbenchmarks of the substrates (see `benches/` and [`harness`]). This
+//! library holds the shared harness: sweeping the 18-workload suite and
+//! formatting results next to the paper's claims.
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use pmemflow_core::report::panel_table;
-use pmemflow_core::{sweep, ConfigSweep, ExecutionParams, SchedConfig};
+use pmemflow_core::{run_matrix, ConfigSweep, ExecutionParams, RunRequest, SchedConfig};
 use pmemflow_workloads::{paper_suite, Family, SuiteEntry};
 
 /// A suite entry together with its measured sweep.
@@ -42,15 +44,49 @@ impl SuiteResult {
     }
 }
 
-/// Run the full 18-workload suite under `params`.
-pub fn run_suite(params: &ExecutionParams) -> Vec<SuiteResult> {
-    paper_suite()
+/// The default worker count for suite fan-out: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run the full 18-workload suite under `params`, fanning the 72 runs
+/// over `jobs` worker threads. Results are independent deterministic
+/// simulations, so the output is identical for any `jobs ≥ 1`.
+pub fn run_suite_jobs(params: &ExecutionParams, jobs: usize) -> Vec<SuiteResult> {
+    let entries = paper_suite();
+    let mut requests = Vec::with_capacity(entries.len() * SchedConfig::ALL.len());
+    for entry in &entries {
+        for config in SchedConfig::ALL {
+            requests.push(RunRequest {
+                workflow: entry.family.name().to_string(),
+                ranks: entry.ranks,
+                stack: params.stack,
+                config,
+                spec: entry.spec.clone(),
+            });
+        }
+    }
+    let outcomes = run_matrix(requests, params, jobs);
+    entries
         .into_iter()
-        .map(|entry| {
-            let sweep = sweep(&entry.spec, params).expect("suite workloads execute");
+        .zip(outcomes.chunks(SchedConfig::ALL.len()))
+        .map(|(entry, chunk)| {
+            let runs = chunk
+                .iter()
+                .map(|o| o.result.clone().expect("suite workloads execute"))
+                .collect();
+            let sweep = ConfigSweep {
+                workflow: entry.spec.name.clone(),
+                runs,
+            };
             SuiteResult { entry, sweep }
         })
         .collect()
+}
+
+/// Run the full 18-workload suite under `params` with one worker per core.
+pub fn run_suite(params: &ExecutionParams) -> Vec<SuiteResult> {
+    run_suite_jobs(params, default_jobs())
 }
 
 /// Format a one-line-per-workload comparison against Table II.
@@ -88,10 +124,33 @@ pub fn suite_table(results: &[SuiteResult]) -> String {
 /// configurations with serial runs split into writer/reader phases —
 /// the layout of the paper's Figs. 4–9.
 pub fn figure_for_family(family: Family, params: &ExecutionParams) -> String {
+    let entries: Vec<SuiteEntry> = paper_suite()
+        .into_iter()
+        .filter(|e| e.family == family)
+        .collect();
+    let requests: Vec<RunRequest> = entries
+        .iter()
+        .flat_map(|entry| {
+            SchedConfig::ALL.map(|config| RunRequest {
+                workflow: entry.family.name().to_string(),
+                ranks: entry.ranks,
+                stack: params.stack,
+                config,
+                spec: entry.spec.clone(),
+            })
+        })
+        .collect();
+    let outcomes = run_matrix(requests, params, default_jobs());
     let mut out = String::new();
     out.push_str(&format!("{}: {}\n", family.figure(), family.name()));
-    for entry in paper_suite().into_iter().filter(|e| e.family == family) {
-        let sweep = sweep(&entry.spec, params).expect("suite workload executes");
+    for (entry, chunk) in entries.iter().zip(outcomes.chunks(SchedConfig::ALL.len())) {
+        let sweep = ConfigSweep {
+            workflow: entry.spec.name.clone(),
+            runs: chunk
+                .iter()
+                .map(|o| o.result.clone().expect("suite workload executes"))
+                .collect(),
+        };
         let data_gib = entry.spec.total_bytes_written() as f64 / (1u64 << 30) as f64;
         out.push_str(&format!(
             "\n({}) Threads: {}, Data size: {:.0}GiB — paper winner: {}\n",

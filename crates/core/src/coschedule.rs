@@ -77,10 +77,7 @@ pub fn execute_coscheduled(
     }
 
     let metrics = crate::executor::execute_many(tenants, params)?;
-    let makespan = metrics
-        .iter()
-        .map(|m| m.total)
-        .fold(0.0f64, f64::max);
+    let makespan = metrics.iter().map(|m| m.total).fold(0.0f64, f64::max);
     let interference = metrics
         .iter()
         .zip(solo.iter())

@@ -11,8 +11,7 @@
 use crate::config::{ExecMode, SchedConfig};
 use crate::metrics::{ComponentMetrics, RunMetrics};
 use pmemflow_des::{
-    Action, Direction, FlowAttrs, ProcessReport, ScriptProcess, SimDuration, SimError,
-    Simulation,
+    Action, Direction, FlowAttrs, ProcessReport, ScriptProcess, SimDuration, SimError, Simulation,
 };
 use pmemflow_iostack::{StackCostModel, StackKind};
 use pmemflow_platform::{locality_of, Node, PinError, PinPolicy, Pinning, SocketId};
@@ -149,9 +148,14 @@ fn flow_attrs(
 fn component_metrics(reports: &[&ProcessReport]) -> ComponentMetrics {
     let n = reports.len().max(1) as f64;
     ComponentMetrics {
-        compute_time: reports.iter().map(|r| r.compute_time.seconds()).sum::<f64>() / n,
+        compute_time: reports
+            .iter()
+            .map(|r| r.compute_time.seconds())
+            .sum::<f64>()
+            / n,
         io_time: reports.iter().map(|r| r.io_time.seconds()).sum::<f64>() / n,
         wait_time: reports.iter().map(|r| r.wait_time.seconds()).sum::<f64>() / n,
+        channel_waits: reports.iter().map(|r| r.channel_waits).sum(),
         finish_time: reports
             .iter()
             .filter_map(|r| r.finished_at)
@@ -160,7 +164,6 @@ fn component_metrics(reports: &[&ProcessReport]) -> ComponentMetrics {
         bytes: reports.iter().map(|r| r.io_bytes).sum(),
     }
 }
-
 
 /// Build the writer/reader rank processes of one workflow into `sim`,
 /// sharing device `dev`. Process names are `{prefix}writer-{r}` /
@@ -175,7 +178,9 @@ fn build_workflow_processes(
 ) {
     let w_loc = config.writer_locality();
     let r_loc = config.reader_locality();
-    let cost = params.cost_override.unwrap_or_else(|| params.stack.cost_model());
+    let cost = params
+        .cost_override
+        .unwrap_or_else(|| params.stack.cost_model());
     // Writers emit their compute as a distinct phase before the I/O phase
     // (checkpoint-style), so no per-object interleaving on the write side;
     // analytics kernels compute *between* object reads (§IV-B).
@@ -206,6 +211,11 @@ fn build_workflow_processes(
         .max(1);
     let snapshot_bytes = spec.writer.io.snapshot_bytes() as f64;
     let batch_bytes = snapshot_bytes / batches as f64;
+    // Charge the reader for *its* snapshot size, not the writer's. The
+    // suite's specs are 1:1 exchanges (validate() enforces it for the
+    // public entry points), but a subsampling reader must not silently
+    // inherit the writer's byte count.
+    let reader_batch_bytes = spec.reader.io.snapshot_bytes() as f64 / batches as f64;
     let final_watermark = spec.iterations * batches;
 
     for (rank, &ch) in channels.iter().enumerate() {
@@ -233,7 +243,10 @@ fn build_workflow_processes(
                 });
             }
         }
-        sim.spawn(Box::new(ScriptProcess::new(format!("{prefix}writer-{rank}"), actions)));
+        sim.spawn(Box::new(ScriptProcess::new(
+            format!("{prefix}writer-{rank}"),
+            actions,
+        )));
     }
 
     // The analytics kernel interleaves its compute between object reads
@@ -241,8 +254,7 @@ fn build_workflow_processes(
     // reader compute is spread across the batches of an iteration.
     let reader_compute_per_batch = spec.reader.compute_per_iteration / batches as f64;
     for (rank, &ch) in channels.iter().enumerate() {
-        let mut actions =
-            Vec::with_capacity((spec.iterations * batches * 3) as usize + spec.ranks);
+        let mut actions = Vec::with_capacity((spec.iterations * batches * 3) as usize + spec.ranks);
         match config.mode {
             ExecMode::Serial => {
                 // Global barrier: wait until *every* writer has published
@@ -258,7 +270,7 @@ fn build_workflow_processes(
                     for _k in 1..=batches {
                         actions.push(Action::Io {
                             resource: dev,
-                            bytes: batch_bytes,
+                            bytes: reader_batch_bytes,
                             attrs: r_attrs,
                         });
                         if reader_compute_per_batch > 0.0 {
@@ -280,7 +292,7 @@ fn build_workflow_processes(
                         });
                         actions.push(Action::Io {
                             resource: dev,
-                            bytes: batch_bytes,
+                            bytes: reader_batch_bytes,
                             attrs: r_attrs,
                         });
                         if reader_compute_per_batch > 0.0 {
@@ -292,9 +304,11 @@ fn build_workflow_processes(
                 }
             }
         }
-        sim.spawn(Box::new(ScriptProcess::new(format!("{prefix}reader-{rank}"), actions)));
+        sim.spawn(Box::new(ScriptProcess::new(
+            format!("{prefix}reader-{rank}"),
+            actions,
+        )));
     }
-
 }
 
 /// Execute `spec` under `config` and return the measurements.
@@ -346,6 +360,7 @@ pub fn execute(
         reader: component_metrics(&readers),
         device: report.resources[0].clone(),
         events: report.events_processed,
+        max_heap_depth: report.max_heap_depth,
         timeline: report.timeline,
     })
 }
@@ -380,11 +395,16 @@ pub(crate) fn execute_many(
             .iter()
             .filter(|p| p.name.starts_with(&rp))
             .collect();
+        // A tenant whose readers never reported a finish time must not
+        // silently claim total == 0; fall back to the shared end time
+        // (the engine guarantees all processes finished when run() is Ok,
+        // but the prefix filter above could still come up empty).
         let reader_finish = readers
             .iter()
             .filter_map(|p| p.finished_at)
             .map(|t| t.seconds())
-            .fold(0.0f64, f64::max);
+            .reduce(f64::max)
+            .unwrap_or_else(|| report.end_time.seconds());
         out.push(RunMetrics {
             config: t.config,
             total: reader_finish,
@@ -392,6 +412,7 @@ pub(crate) fn execute_many(
             reader: component_metrics(&readers),
             device: report.resources[0].clone(),
             events: report.events_processed,
+            max_heap_depth: report.max_heap_depth,
             timeline: None,
         });
     }
@@ -434,10 +455,14 @@ pub fn execute_component_standalone(
     params: &ExecutionParams,
 ) -> Result<StandaloneReport, ExecError> {
     if ranks == 0 || iterations == 0 {
-        return Err(ExecError::Spec("ranks and iterations must be positive".into()));
+        return Err(ExecError::Spec(
+            "ranks and iterations must be positive".into(),
+        ));
     }
     Pinning::new(&params.node, PinPolicy::Socket(SocketId(0)), ranks)?;
-    let cost = params.cost_override.unwrap_or_else(|| params.stack.cost_model());
+    let cost = params
+        .cost_override
+        .unwrap_or_else(|| params.stack.cost_model());
     let attrs = flow_attrs(
         dir,
         pmemflow_des::Locality::Local,
@@ -543,14 +568,8 @@ mod tests {
     #[test]
     fn standalone_io_index_pure_io_is_one() {
         let spec = micro_64mb(8);
-        let m = execute_component_standalone(
-            &spec.writer,
-            8,
-            2,
-            Direction::Write,
-            &params(),
-        )
-        .unwrap();
+        let m =
+            execute_component_standalone(&spec.writer, 8, 2, Direction::Write, &params()).unwrap();
         assert!(m.component.io_index() > 0.99);
         assert!(m.device.mean_busy_concurrency() > 1.0);
     }
@@ -558,14 +577,8 @@ mod tests {
     #[test]
     fn standalone_io_index_compute_heavy_is_low() {
         let spec = pmemflow_workloads::gtc_readonly(8);
-        let m = execute_component_standalone(
-            &spec.writer,
-            8,
-            2,
-            Direction::Write,
-            &params(),
-        )
-        .unwrap();
+        let m =
+            execute_component_standalone(&spec.writer, 8, 2, Direction::Write, &params()).unwrap();
         let idx = m.component.io_index();
         assert!(idx < 0.4, "GTC sim I/O index should be low, got {idx}");
     }
@@ -577,6 +590,85 @@ mod tests {
             execute(&spec, SchedConfig::S_LOC_W, &params()),
             Err(ExecError::Pin(_))
         ));
+    }
+
+    #[test]
+    fn reader_bytes_follow_reader_spec_when_asymmetric() {
+        // Regression: reader flows used to be charged batch bytes derived
+        // from the *writer's* snapshot size. Build an asymmetric exchange
+        // (reader consumes a quarter of what the writer produces) directly
+        // — the public entry points validate() it away — and check the
+        // per-component byte accounting.
+        let mut spec = micro_64mb(4);
+        spec.reader.io.object_bytes = spec.writer.io.object_bytes / 4;
+        let params = params();
+        let mut sim = Simulation::new();
+        let dev = sim.add_resource(Box::new(OptaneAllocator::new(params.profile.clone())));
+        build_workflow_processes(&mut sim, dev, &spec, SchedConfig::P_LOC_R, &params, "");
+        let report = sim.run().unwrap();
+        let written: f64 = report
+            .processes
+            .iter()
+            .filter(|p| p.name.starts_with("writer-"))
+            .map(|p| p.io_bytes)
+            .sum();
+        let read: f64 = report
+            .processes
+            .iter()
+            .filter(|p| p.name.starts_with("reader-"))
+            .map(|p| p.io_bytes)
+            .sum();
+        let expect_written = spec.total_bytes_written() as f64;
+        let expect_read =
+            (spec.ranks as u64 * spec.iterations * spec.reader.io.snapshot_bytes()) as f64;
+        assert!((written - expect_written).abs() / expect_written < 1e-9);
+        assert!(
+            (read - expect_read).abs() / expect_read < 1e-9,
+            "read {read} vs {expect_read}"
+        );
+    }
+
+    #[test]
+    fn execute_many_totals_are_positive_and_cover_readers() {
+        // Regression: a tenant whose reader finish times went missing used
+        // to report total == 0.0 from the fold's 0.0 seed.
+        let tenants = vec![
+            crate::coschedule::Tenant {
+                spec: micro_2kb(4),
+                config: SchedConfig::P_LOC_R,
+            },
+            crate::coschedule::Tenant {
+                spec: micro_64mb(4),
+                config: SchedConfig::S_LOC_W,
+            },
+        ];
+        let metrics = execute_many(&tenants, &params()).unwrap();
+        assert_eq!(metrics.len(), 2);
+        for m in &metrics {
+            assert!(m.total > 0.0, "tenant reported zero total");
+            assert!(
+                m.total >= m.reader.finish_time - 1e-9,
+                "total {} below reader finish {}",
+                m.total,
+                m.reader.finish_time
+            );
+            assert!(
+                m.reader.channel_waits > 0,
+                "readers must have parked at least once"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_counters_surface_in_metrics() {
+        let m = execute(&micro_2kb(4), SchedConfig::P_LOC_R, &params()).unwrap();
+        assert!(m.events > 0);
+        assert!(m.max_heap_depth > 0);
+        assert!(m.max_heap_depth as u64 <= m.events);
+        // Parallel readers park on every batch they outrun.
+        assert!(m.reader.channel_waits > 0);
+        // Writers never wait on channels in this workload shape.
+        assert_eq!(m.writer.channel_waits, 0);
     }
 
     #[test]

@@ -27,10 +27,12 @@ mod executor;
 mod metrics;
 pub mod native;
 pub mod report;
+pub mod runner;
 
 pub use config::{ExecMode, Placement, SchedConfig};
+pub use coschedule::{execute_coscheduled, CoScheduleOutcome, Tenant};
 pub use executor::{
     execute, execute_component_standalone, sweep, ExecError, ExecutionParams, StandaloneReport,
 };
-pub use coschedule::{execute_coscheduled, CoScheduleOutcome, Tenant};
 pub use metrics::{ComponentMetrics, ConfigSweep, RunMetrics};
+pub use runner::{full_matrix, map_ordered, run_matrix, RunOutcome, RunRequest};

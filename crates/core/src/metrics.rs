@@ -16,6 +16,8 @@ pub struct ComponentMetrics {
     pub io_time: f64,
     /// Mean seconds a rank spent waiting on versions.
     pub wait_time: f64,
+    /// Total times the component's ranks parked on a version channel.
+    pub channel_waits: u64,
     /// Instant the slowest rank of the component finished.
     pub finish_time: f64,
     /// Total bytes the component moved.
@@ -50,6 +52,8 @@ pub struct RunMetrics {
     pub device: ResourceReport,
     /// Events processed by the engine (diagnostics).
     pub events: u64,
+    /// Largest event-heap depth the engine observed (diagnostics).
+    pub max_heap_depth: usize,
     /// Per-rank span timelines when requested
     /// ([`crate::ExecutionParams::record_timeline`]).
     pub timeline: Option<pmemflow_des::Timeline>,
@@ -147,6 +151,7 @@ mod tests {
             },
             device: ResourceReport::default(),
             events: 0,
+            max_heap_depth: 0,
             timeline: None,
         }
     }

@@ -14,15 +14,14 @@
 //! concurrency, while absolute timing fidelity remains the DES's job.
 
 use crate::config::{ExecMode, SchedConfig};
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use pmemflow_des::{Direction, Locality};
 use pmemflow_iostack::{NovaFs, NvStore, ObjectStore, StackKind};
 use pmemflow_platform::SocketId;
 use pmemflow_pmem::{DeviceProfile, InterleaveGeometry, PmemRegion};
 use pmemflow_workloads::WorkflowSpec;
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Parameters for a native run.
@@ -103,26 +102,32 @@ impl Shaper {
     /// Total shaping delay handed out so far, across all threads. This is
     /// the model's view of device time, free of thread-scheduling noise.
     pub fn shaped_total(&self) -> Duration {
-        Duration::from_secs_f64(*self.shaped_total.lock())
+        Duration::from_secs_f64(*self.shaped_total.lock().unwrap())
     }
 
     /// Compute the shaping delay for an operation of `bytes` bytes. The
     /// operation counts as in-flight for the duration of the returned
     /// delay, so concurrent callers see each other's pressure.
-    pub fn delay_for(&self, dir: Direction, loc: Locality, object_bytes: u64, bytes: u64) -> Duration {
+    pub fn delay_for(
+        &self,
+        dir: Direction,
+        loc: Locality,
+        object_bytes: u64,
+        bytes: u64,
+    ) -> Duration {
         let idx = class_index(dir, loc);
         let (n_total, n_remote, n_class) = {
-            let g = self.in_flight.lock();
+            let g = self.in_flight.lock().unwrap();
             let t: usize = g.iter().sum::<usize>() + 1;
-            (t, g[1] + g[3] + usize::from(idx == 1 || idx == 3), g[idx] + 1)
+            (
+                t,
+                g[1] + g[3] + usize::from(idx == 1 || idx == 3),
+                g[idx] + 1,
+            )
         };
-        let cap = self.profile.class_capacity(
-            dir,
-            loc,
-            object_bytes,
-            n_total as f64,
-            n_remote as f64,
-        );
+        let cap =
+            self.profile
+                .class_capacity(dir, loc, object_bytes, n_total as f64, n_remote as f64);
         let single = self.profile.single_thread_rate(dir, loc, object_bytes);
         let rate = (cap / n_class.max(1) as f64).min(single).max(1.0);
         Duration::from_secs_f64(bytes as f64 / rate * self.time_scale)
@@ -133,16 +138,16 @@ impl Shaper {
     pub fn shape(&self, dir: Direction, loc: Locality, object_bytes: u64, bytes: u64) -> Duration {
         let idx = class_index(dir, loc);
         {
-            let mut g = self.in_flight.lock();
+            let mut g = self.in_flight.lock().unwrap();
             g[idx] += 1;
         }
         let delay = self.delay_for(dir, loc, object_bytes, bytes);
         std::thread::sleep(delay);
         {
-            let mut g = self.in_flight.lock();
+            let mut g = self.in_flight.lock().unwrap();
             g[idx] -= 1;
         }
-        *self.shaped_total.lock() += delay.as_secs_f64();
+        *self.shaped_total.lock().unwrap() += delay.as_secs_f64();
         delay
     }
 }
@@ -167,7 +172,7 @@ fn make_store(params: &NativeParams) -> Box<dyn ObjectStore + Send> {
 
 /// Deterministic payload for (rank, version, len): readers recompute and
 /// compare, so any store corruption is caught.
-pub fn payload(rank: usize, version: u64, len: usize) -> Bytes {
+pub fn payload(rank: usize, version: u64, len: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(len);
     // splitmix64-style scramble so that nearby (rank, version) pairs give
     // unrelated streams.
@@ -196,7 +201,7 @@ pub fn payload(rank: usize, version: u64, len: usize) -> Bytes {
         x ^= x << 17;
         v.push((x & 0xff) as u8);
     }
-    Bytes::from(v)
+    v
 }
 
 /// Run `spec` natively under `config`. Object counts and sizes should be
@@ -235,79 +240,85 @@ pub fn run_native(
     let mut senders: Vec<Sender<u64>> = Vec::new();
     let mut receivers: Vec<Receiver<u64>> = Vec::new();
     for _ in 0..spec.ranks {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
 
     let start = Instant::now();
-    crossbeam::thread::scope(|scope| {
-        // Writers.
-        for (rank, tx) in senders.into_iter().enumerate() {
-            let store = Arc::clone(&stores[rank]);
-            let shaper = Arc::clone(&shaper);
-            let bytes_written = Arc::clone(&bytes_written);
-            scope.spawn(move |_| {
-                for v in 1..=iterations {
-                    for obj in 0..objects {
-                        let data = payload(rank * 1000 + obj as usize, v, object_bytes as usize);
-                        shaper.shape(Direction::Write, w_loc, object_bytes, object_bytes);
-                        store
-                            .lock()
-                            .put(&format!("w{rank}/o{obj}"), v, &data)
-                            .expect("native put");
-                        *bytes_written.lock() += object_bytes;
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            // Writers.
+            for (rank, tx) in senders.into_iter().enumerate() {
+                let store = Arc::clone(&stores[rank]);
+                let shaper = Arc::clone(&shaper);
+                let bytes_written = Arc::clone(&bytes_written);
+                scope.spawn(move || {
+                    for v in 1..=iterations {
+                        for obj in 0..objects {
+                            let data =
+                                payload(rank * 1000 + obj as usize, v, object_bytes as usize);
+                            shaper.shape(Direction::Write, w_loc, object_bytes, object_bytes);
+                            store
+                                .lock()
+                                .unwrap()
+                                .put(&format!("w{rank}/o{obj}"), v, &data)
+                                .expect("native put");
+                            *bytes_written.lock().unwrap() += object_bytes;
+                        }
+                        tx.send(v).expect("reader alive");
                     }
-                    tx.send(v).expect("reader alive");
-                }
-            });
-        }
-        // Readers.
-        for (rank, rx) in receivers.into_iter().enumerate() {
-            let store = Arc::clone(&stores[rank]);
-            let shaper = Arc::clone(&shaper);
-            let bytes_verified = Arc::clone(&bytes_verified);
-            let failures = Arc::clone(&failures);
-            let mode = config.mode;
-            scope.spawn(move |_| {
-                let consume = |v: u64| {
-                    for obj in 0..objects {
-                        shaper.shape(Direction::Read, r_loc, object_bytes, object_bytes);
-                        let got = store
-                            .lock()
-                            .get(&format!("w{rank}/o{obj}"), v)
-                            .expect("native get");
-                        let want = payload(rank * 1000 + obj as usize, v, object_bytes as usize);
-                        if got != want {
-                            *failures.lock() += 1;
-                        } else {
-                            *bytes_verified.lock() += object_bytes;
+                });
+            }
+            // Readers.
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let store = Arc::clone(&stores[rank]);
+                let shaper = Arc::clone(&shaper);
+                let bytes_verified = Arc::clone(&bytes_verified);
+                let failures = Arc::clone(&failures);
+                let mode = config.mode;
+                scope.spawn(move || {
+                    let consume = |v: u64| {
+                        for obj in 0..objects {
+                            shaper.shape(Direction::Read, r_loc, object_bytes, object_bytes);
+                            let got = store
+                                .lock()
+                                .unwrap()
+                                .get(&format!("w{rank}/o{obj}"), v)
+                                .expect("native get");
+                            let want =
+                                payload(rank * 1000 + obj as usize, v, object_bytes as usize);
+                            if got != want {
+                                *failures.lock().unwrap() += 1;
+                            } else {
+                                *bytes_verified.lock().unwrap() += object_bytes;
+                            }
+                        }
+                    };
+                    match mode {
+                        ExecMode::Parallel => {
+                            for v in rx.iter().take(iterations as usize) {
+                                consume(v);
+                            }
+                        }
+                        ExecMode::Serial => {
+                            // Drain all announcements first (writer done), then
+                            // read every version.
+                            let versions: Vec<u64> = rx.iter().take(iterations as usize).collect();
+                            for v in versions {
+                                consume(v);
+                            }
                         }
                     }
-                };
-                match mode {
-                    ExecMode::Parallel => {
-                        for v in rx.iter().take(iterations as usize) {
-                            consume(v);
-                        }
-                    }
-                    ExecMode::Serial => {
-                        // Drain all announcements first (writer done), then
-                        // read every version.
-                        let versions: Vec<u64> = rx.iter().take(iterations as usize).collect();
-                        for v in versions {
-                            consume(v);
-                        }
-                    }
-                }
-            });
-        }
-    })
+                });
+            }
+        });
+    }))
     .map_err(|_| "a native worker panicked".to_string())?;
 
-    let written = *bytes_written.lock();
-    let verified = *bytes_verified.lock();
-    let failed = *failures.lock();
+    let written = *bytes_written.lock().unwrap();
+    let verified = *bytes_verified.lock().unwrap();
+    let failed = *failures.lock().unwrap();
     Ok(NativeReport {
         wall: start.elapsed(),
         shaped: shaper.shaped_total(),

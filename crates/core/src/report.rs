@@ -53,7 +53,8 @@ pub fn panel_table(sweep: &ConfigSweep) -> String {
 
 /// CSV rows (one per config) with a header, for plotting.
 pub fn panel_csv(sweep: &ConfigSweep) -> String {
-    let mut out = String::from("workflow,config,total_s,writer_finish_s,reader_finish_s,normalized\n");
+    let mut out =
+        String::from("workflow,config,total_s,writer_finish_s,reader_finish_s,normalized\n");
     for run in &sweep.runs {
         out.push_str(&format!(
             "{},{},{:.6},{:.6},{:.6},{:.6}\n",
@@ -98,6 +99,7 @@ mod tests {
             },
             device: ResourceReport::default(),
             events: 1,
+            max_heap_depth: 1,
             timeline: None,
         };
         ConfigSweep {
@@ -122,7 +124,9 @@ mod tests {
     fn table_marks_best() {
         let t = panel_table(&sweep());
         assert!(t.contains("S-LocW"));
-        assert!(t.lines().any(|l| l.contains("S-LocW") && l.contains("best")));
+        assert!(t
+            .lines()
+            .any(|l| l.contains("S-LocW") && l.contains("best")));
     }
 
     #[test]

@@ -95,7 +95,12 @@ fn stagger_spreads_write_bursts() {
 #[test]
 fn pure_io_workflow_has_no_compute_time() {
     let params = ExecutionParams::default();
-    let m = execute(&spec(4, 1 << 20, 4, 0.0, 0.0), SchedConfig::P_LOC_R, &params).unwrap();
+    let m = execute(
+        &spec(4, 1 << 20, 4, 0.0, 0.0),
+        SchedConfig::P_LOC_R,
+        &params,
+    )
+    .unwrap();
     assert_eq!(m.writer.compute_time, 0.0);
     assert_eq!(m.reader.compute_time, 0.0);
     assert!(m.writer.io_time > 0.0);
@@ -104,7 +109,12 @@ fn pure_io_workflow_has_no_compute_time() {
 #[test]
 fn compute_heavy_writer_accumulates_compute_time() {
     let params = ExecutionParams::default();
-    let m = execute(&spec(4, 1 << 20, 4, 0.7, 0.0), SchedConfig::S_LOC_W, &params).unwrap();
+    let m = execute(
+        &spec(4, 1 << 20, 4, 0.7, 0.0),
+        SchedConfig::S_LOC_W,
+        &params,
+    )
+    .unwrap();
     // 5 iterations × 0.7 s plus the stagger offset (mean over ranks).
     assert!(m.writer.compute_time >= 3.5 - 1e-9);
 }
@@ -132,7 +142,17 @@ fn total_time_monotone_in_iterations() {
 #[test]
 fn more_ranks_move_more_bytes() {
     let params = ExecutionParams::default();
-    let a = execute(&spec(4, 1 << 20, 8, 0.0, 0.0), SchedConfig::S_LOC_W, &params).unwrap();
-    let b = execute(&spec(8, 1 << 20, 8, 0.0, 0.0), SchedConfig::S_LOC_W, &params).unwrap();
+    let a = execute(
+        &spec(4, 1 << 20, 8, 0.0, 0.0),
+        SchedConfig::S_LOC_W,
+        &params,
+    )
+    .unwrap();
+    let b = execute(
+        &spec(8, 1 << 20, 8, 0.0, 0.0),
+        SchedConfig::S_LOC_W,
+        &params,
+    )
+    .unwrap();
     assert!((b.writer.bytes / a.writer.bytes - 2.0).abs() < 1e-9);
 }

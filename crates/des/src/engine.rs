@@ -100,7 +100,9 @@ enum ProcState {
     /// Waiting for a scheduled wake (fresh, or in a compute phase).
     Scheduled,
     /// Waiting for an I/O flow to complete.
-    InIo { io_started: SimTime },
+    InIo {
+        io_started: SimTime,
+    },
     /// Parked on a version channel.
     WaitingVersion {
         channel: ChannelId,
@@ -144,6 +146,7 @@ pub struct Simulation {
     event_budget: u64,
     horizon: SimTime,
     events_processed: u64,
+    max_heap_depth: usize,
     record_timeline: bool,
 }
 
@@ -167,6 +170,7 @@ impl Simulation {
             event_budget: 200_000_000,
             horizon: SimTime(1e9),
             events_processed: 0,
+            max_heap_depth: 0,
             record_timeline: false,
         }
     }
@@ -240,6 +244,7 @@ impl Simulation {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
+        self.max_heap_depth = self.max_heap_depth.max(self.events.len());
     }
 
     /// Run to completion of every process, returning the collected reports.
@@ -306,6 +311,7 @@ impl Simulation {
             processes: self.procs.into_iter().map(|p| p.report).collect(),
             resources: self.resources.into_iter().map(|r| r.report).collect(),
             events_processed: self.events_processed,
+            max_heap_depth: self.max_heap_depth,
             timeline,
         })
     }
@@ -367,6 +373,7 @@ impl Simulation {
                     if ch.has_published && ch.published >= version {
                         continue; // already satisfied, no time passes
                     }
+                    self.procs[pid.0].report.channel_waits += 1;
                     self.procs[pid.0].state = ProcState::WaitingVersion {
                         channel,
                         version,
@@ -395,11 +402,8 @@ impl Simulation {
                         }
                     }
                     for wid in to_wake {
-                        if let ProcState::WaitingVersion { since, .. } =
-                            self.procs[wid.0].state
-                        {
-                            self.procs[wid.0].report.wait_time +=
-                                self.now.since(since);
+                        if let ProcState::WaitingVersion { since, .. } = self.procs[wid.0].state {
+                            self.procs[wid.0].report.wait_time += self.now.since(since);
                             if self.record_timeline {
                                 self.procs[wid.0].timeline.spans.push(Span {
                                     start: since,
@@ -475,7 +479,13 @@ impl Simulation {
         }
         let epoch = res.epoch;
         let t = self.now + SimDuration::from_secs(next_done);
-        self.push_event(t, EventKind::ResourceCheck { resource: rid, epoch });
+        self.push_event(
+            t,
+            EventKind::ResourceCheck {
+                resource: rid,
+                epoch,
+            },
+        );
     }
 
     /// Handle a (non-stale) resource check: settle, complete finished flows,
@@ -539,9 +549,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{
-        Direction, FairShareAllocator, FlowAttrs, Locality, UncontendedAllocator,
-    };
+    use crate::flow::{Direction, FairShareAllocator, FlowAttrs, Locality, UncontendedAllocator};
     use crate::process::ScriptProcess;
 
     fn io(resource: ResourceId, bytes: f64, peak: f64) -> Action {
@@ -607,7 +615,10 @@ mod tests {
         // A short and a long flow: short (1 GB) finishes at t=1 at 1 GB/s,
         // then long (3 GB) runs at 2 GB/s: 1 GB done by t=1, 2 GB left ->
         // finishes at t = 2.
-        sim.spawn(Box::new(ScriptProcess::new("short", vec![io(r, 1e9, 10e9)])));
+        sim.spawn(Box::new(ScriptProcess::new(
+            "short",
+            vec![io(r, 1e9, 10e9)],
+        )));
         sim.spawn(Box::new(ScriptProcess::new("long", vec![io(r, 3e9, 10e9)])));
         let rep = sim.run().unwrap();
         let short_done = rep.processes[0].finished_at.unwrap().seconds();
@@ -645,18 +656,30 @@ mod tests {
             "writer",
             vec![
                 Action::Compute(SimDuration(1.0)),
-                Action::Publish { channel: ch, version: 1 },
+                Action::Publish {
+                    channel: ch,
+                    version: 1,
+                },
                 Action::Compute(SimDuration(1.0)),
-                Action::Publish { channel: ch, version: 2 },
+                Action::Publish {
+                    channel: ch,
+                    version: 2,
+                },
             ],
         )));
         // Reader waits v1, computes 0.2, waits v2.
         sim.spawn(Box::new(ScriptProcess::new(
             "reader",
             vec![
-                Action::WaitVersion { channel: ch, version: 1 },
+                Action::WaitVersion {
+                    channel: ch,
+                    version: 1,
+                },
                 Action::Compute(SimDuration(0.2)),
-                Action::WaitVersion { channel: ch, version: 2 },
+                Action::WaitVersion {
+                    channel: ch,
+                    version: 2,
+                },
                 Action::Mark("got-v2"),
             ],
         )));
@@ -673,13 +696,19 @@ mod tests {
         let ch = sim.add_channel();
         sim.spawn(Box::new(ScriptProcess::new(
             "w",
-            vec![Action::Publish { channel: ch, version: 5 }],
+            vec![Action::Publish {
+                channel: ch,
+                version: 5,
+            }],
         )));
         sim.spawn(Box::new(ScriptProcess::new(
             "r",
             vec![
                 Action::Compute(SimDuration(1.0)),
-                Action::WaitVersion { channel: ch, version: 3 },
+                Action::WaitVersion {
+                    channel: ch,
+                    version: 3,
+                },
             ],
         )));
         let rep = sim.run().unwrap();
@@ -693,7 +722,10 @@ mod tests {
         let ch = sim.add_channel();
         sim.spawn(Box::new(ScriptProcess::new(
             "r",
-            vec![Action::WaitVersion { channel: ch, version: 1 }],
+            vec![Action::WaitVersion {
+                channel: ch,
+                version: 1,
+            }],
         )));
         match sim.run() {
             Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec!["r"]),
@@ -737,19 +769,31 @@ mod tests {
                     vec![
                         Action::Compute(SimDuration(0.1 * (i + 1) as f64)),
                         io(r, 1.7e9 + i as f64 * 3e8, 5e9),
-                        Action::Publish { channel: ch, version: i as u64 + 1 },
+                        Action::Publish {
+                            channel: ch,
+                            version: i as u64 + 1,
+                        },
                     ],
                 )));
             }
             sim.spawn(Box::new(ScriptProcess::new(
                 "r",
-                vec![Action::WaitVersion { channel: ch, version: 7 }, io(r, 9e9, 8e9)],
+                vec![
+                    Action::WaitVersion {
+                        channel: ch,
+                        version: 7,
+                    },
+                    io(r, 9e9, 8e9),
+                ],
             )));
             sim.run().unwrap()
         };
         let a = build();
         let b = build();
-        assert_eq!(a.end_time.seconds().to_bits(), b.end_time.seconds().to_bits());
+        assert_eq!(
+            a.end_time.seconds().to_bits(),
+            b.end_time.seconds().to_bits()
+        );
         assert_eq!(a.events_processed, b.events_processed);
         for (pa, pb) in a.processes.iter().zip(b.processes.iter()) {
             assert_eq!(
@@ -757,6 +801,42 @@ mod tests {
                 pb.io_time.seconds().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn engine_counters_are_recorded() {
+        let mut sim = Simulation::new();
+        let ch = sim.add_channel();
+        sim.spawn(Box::new(ScriptProcess::new(
+            "w",
+            vec![
+                Action::Compute(SimDuration(1.0)),
+                Action::Publish {
+                    channel: ch,
+                    version: 1,
+                },
+            ],
+        )));
+        sim.spawn(Box::new(ScriptProcess::new(
+            "r",
+            vec![
+                // Parks once (v1 not yet published at t=0) ...
+                Action::WaitVersion {
+                    channel: ch,
+                    version: 1,
+                },
+                // ... then this wait is satisfied instantly: not counted.
+                Action::WaitVersion {
+                    channel: ch,
+                    version: 1,
+                },
+            ],
+        )));
+        let rep = sim.run().unwrap();
+        assert_eq!(rep.processes[0].channel_waits, 0);
+        assert_eq!(rep.processes[1].channel_waits, 1);
+        assert!(rep.max_heap_depth >= 2, "both start events coexist");
+        assert!(rep.max_heap_depth as u64 <= rep.events_processed);
     }
 
     #[test]

@@ -53,9 +53,10 @@
 mod engine;
 mod flow;
 mod process;
+pub mod rng;
 mod stats;
 mod time;
-mod trace;
+pub mod trace;
 
 pub use engine::{SimError, Simulation};
 pub use flow::{

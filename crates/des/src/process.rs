@@ -119,10 +119,7 @@ mod tests {
     fn script_process_replays_then_done() {
         let mut p = ScriptProcess::new(
             "w0",
-            vec![
-                Action::Compute(SimDuration(1.0)),
-                Action::Mark("io-start"),
-            ],
+            vec![Action::Compute(SimDuration(1.0)), Action::Mark("io-start")],
         );
         assert!(matches!(
             p.next(SimTime::ZERO, Resume::Start),

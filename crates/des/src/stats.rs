@@ -18,6 +18,9 @@ pub struct ProcessReport {
     pub io_bytes: f64,
     /// Total virtual time spent parked on `WaitVersion`.
     pub wait_time: SimDuration,
+    /// Number of times the process actually parked on a version channel
+    /// (waits satisfied instantly are not counted).
+    pub channel_waits: u64,
     /// Instant the process returned `Done`, if it did.
     pub finished_at: Option<SimTime>,
     /// Named instants recorded via `Action::Mark`, in order.
@@ -111,6 +114,8 @@ pub struct SimReport {
     pub resources: Vec<ResourceReport>,
     /// Number of events processed (diagnostics; deterministic).
     pub events_processed: u64,
+    /// Largest event-heap depth observed (diagnostics; deterministic).
+    pub max_heap_depth: usize,
     /// Per-process span timelines, if requested via
     /// [`crate::Simulation::with_timeline`].
     pub timeline: Option<crate::trace::Timeline>,
@@ -127,11 +132,7 @@ impl SimReport {
     }
 
     /// Earliest mark with `label` across processes whose name passes `pred`.
-    pub fn first_mark_where(
-        &self,
-        label: &str,
-        pred: impl Fn(&str) -> bool,
-    ) -> Option<SimTime> {
+    pub fn first_mark_where(&self, label: &str, pred: impl Fn(&str) -> bool) -> Option<SimTime> {
         self.processes
             .iter()
             .filter(|p| pred(&p.name))

@@ -195,15 +195,31 @@ mod tests {
                 ProcessTimeline {
                     name: "writer-0".into(),
                     spans: vec![
-                        Span { start: SimTime(0.0), end: SimTime(1.0), kind: SpanKind::Compute },
-                        Span { start: SimTime(1.0), end: SimTime(2.0), kind: SpanKind::Io },
+                        Span {
+                            start: SimTime(0.0),
+                            end: SimTime(1.0),
+                            kind: SpanKind::Compute,
+                        },
+                        Span {
+                            start: SimTime(1.0),
+                            end: SimTime(2.0),
+                            kind: SpanKind::Io,
+                        },
                     ],
                 },
                 ProcessTimeline {
                     name: "reader-0".into(),
                     spans: vec![
-                        Span { start: SimTime(0.0), end: SimTime(1.5), kind: SpanKind::Wait },
-                        Span { start: SimTime(1.5), end: SimTime(2.5), kind: SpanKind::Io },
+                        Span {
+                            start: SimTime(0.0),
+                            end: SimTime(1.5),
+                            kind: SpanKind::Wait,
+                        },
+                        Span {
+                            start: SimTime(1.5),
+                            end: SimTime(2.5),
+                            kind: SpanKind::Io,
+                        },
                     ],
                 },
             ],

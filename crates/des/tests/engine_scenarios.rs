@@ -2,7 +2,7 @@
 //! producer/consumer chains, and analytically solvable timelines.
 
 use pmemflow_des::{
-    Action, FairShareAllocator, Direction, FlowAttrs, Locality, ScriptProcess, SimDuration,
+    Action, Direction, FairShareAllocator, FlowAttrs, Locality, ScriptProcess, SimDuration,
     Simulation, UncontendedAllocator,
 };
 
@@ -24,11 +24,19 @@ fn two_independent_resources_do_not_interact() {
     let r1 = sim.add_resource(Box::new(FairShareAllocator::new(2e9)));
     sim.spawn(Box::new(ScriptProcess::new(
         "a",
-        vec![Action::Io { resource: r0, bytes: 1e9, attrs: attrs(10e9) }],
+        vec![Action::Io {
+            resource: r0,
+            bytes: 1e9,
+            attrs: attrs(10e9),
+        }],
     )));
     sim.spawn(Box::new(ScriptProcess::new(
         "b",
-        vec![Action::Io { resource: r1, bytes: 1e9, attrs: attrs(10e9) }],
+        vec![Action::Io {
+            resource: r1,
+            bytes: 1e9,
+            attrs: attrs(10e9),
+        }],
     )));
     let rep = sim.run().unwrap();
     assert!((rep.processes[0].finished_at.unwrap().seconds() - 1.0).abs() < 1e-6);
@@ -49,11 +57,23 @@ fn three_stage_pipeline_throughput() {
     let mut consumer = Vec::new();
     for v in 1..=items {
         producer.push(Action::Compute(SimDuration(1.0)));
-        producer.push(Action::Publish { channel: c1, version: v });
-        relay.push(Action::WaitVersion { channel: c1, version: v });
+        producer.push(Action::Publish {
+            channel: c1,
+            version: v,
+        });
+        relay.push(Action::WaitVersion {
+            channel: c1,
+            version: v,
+        });
         relay.push(Action::Compute(SimDuration(1.0)));
-        relay.push(Action::Publish { channel: c2, version: v });
-        consumer.push(Action::WaitVersion { channel: c2, version: v });
+        relay.push(Action::Publish {
+            channel: c2,
+            version: v,
+        });
+        consumer.push(Action::WaitVersion {
+            channel: c2,
+            version: v,
+        });
         consumer.push(Action::Compute(SimDuration(1.0)));
     }
     sim.spawn(Box::new(ScriptProcess::new("producer", producer)));
@@ -73,13 +93,21 @@ fn fluid_sharing_with_arrivals_and_departures_is_exact() {
     let r = sim.add_resource(Box::new(FairShareAllocator::new(3e9)));
     sim.spawn(Box::new(ScriptProcess::new(
         "f1",
-        vec![Action::Io { resource: r, bytes: 6e9, attrs: attrs(100e9) }],
+        vec![Action::Io {
+            resource: r,
+            bytes: 6e9,
+            attrs: attrs(100e9),
+        }],
     )));
     sim.spawn(Box::new(ScriptProcess::new(
         "f2",
         vec![
             Action::Compute(SimDuration(1.0)),
-            Action::Io { resource: r, bytes: 3e9, attrs: attrs(100e9) },
+            Action::Io {
+                resource: r,
+                bytes: 3e9,
+                attrs: attrs(100e9),
+            },
         ],
     )));
     let rep = sim.run().unwrap();
@@ -102,7 +130,11 @@ fn per_flow_caps_limit_even_an_idle_resource() {
     let r = sim.add_resource(Box::new(FairShareAllocator::new(100e9)));
     sim.spawn(Box::new(ScriptProcess::new(
         "capped",
-        vec![Action::Io { resource: r, bytes: 2e9, attrs: attrs(1e9) }],
+        vec![Action::Io {
+            resource: r,
+            bytes: 2e9,
+            attrs: attrs(1e9),
+        }],
     )));
     let rep = sim.run().unwrap();
     assert!((rep.end_time.seconds() - 2.0).abs() < 1e-6);
@@ -117,7 +149,11 @@ fn many_small_flows_complete_in_submission_order_groups() {
     for i in 0..50 {
         sim.spawn(Box::new(ScriptProcess::new(
             format!("f{i}"),
-            vec![Action::Io { resource: r, bytes: 1e8, attrs: attrs(100e9) }],
+            vec![Action::Io {
+                resource: r,
+                bytes: 1e8,
+                attrs: attrs(100e9),
+            }],
         )));
     }
     let rep = sim.run().unwrap();
@@ -138,7 +174,11 @@ fn mark_actions_segment_the_timeline() {
             Action::Mark("start"),
             Action::Compute(SimDuration(1.0)),
             Action::Mark("io-begin"),
-            Action::Io { resource: r, bytes: 1e9, attrs: attrs(1e9) },
+            Action::Io {
+                resource: r,
+                bytes: 1e9,
+                attrs: attrs(1e9),
+            },
             Action::Mark("io-end"),
         ],
     )));

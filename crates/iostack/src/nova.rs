@@ -183,7 +183,8 @@ impl NovaFs {
                         "payload checksum mismatch in inode {ino} v{version}"
                     )));
                 }
-                fs.index.insert((ino, version), (data_off, data_len, data_sum));
+                fs.index
+                    .insert((ino, version), (data_off, data_len, data_sum));
                 entry_off = get_u64(&ebuf, ENT_OFF_NEXT);
             }
         }
@@ -391,8 +392,7 @@ impl NovaFs {
         put_u64(&mut j, JRN_OFF_PREV, prev_entry);
         let jsum = fnv1a(&j[JRN_OFF_INODE..JRN_OFF_SUM]);
         put_u64(&mut j, JRN_OFF_SUM, jsum);
-        self.region
-            .write(joff + 8, &j[8..], StoreMode::Cached);
+        self.region.write(joff + 8, &j[8..], StoreMode::Cached);
         self.region.persist(joff + 8, JOURNAL_BYTES - 8);
         // Commit record.
         let mut commit = [0u8; 8];
@@ -403,7 +403,8 @@ impl NovaFs {
         self.apply_link(ino, entry_off, prev_entry);
         self.clear_journal();
 
-        self.index.insert((ino, version), (data_off, data.len() as u64, data_sum));
+        self.index
+            .insert((ino, version), (data_off, data.len() as u64, data_sum));
         Ok(())
     }
 
@@ -469,7 +470,8 @@ impl NovaFs {
         };
         let off = self.inode_off(ino);
         let zero = [0u8; 8];
-        self.region.write(off + INO_OFF_FLAGS as u64, &zero, StoreMode::Cached);
+        self.region
+            .write(off + INO_OFF_FLAGS as u64, &zero, StoreMode::Cached);
         self.region.persist(off + INO_OFF_FLAGS as u64, 8);
         self.inodes.remove(stream);
         let keys: Vec<(u64, u64)> = self
@@ -737,8 +739,12 @@ mod tests {
         let mut f = NovaFs::format(region(4 << 20), 8, 64 * 1024).unwrap();
         for v in 1..=20u64 {
             for s in 0..4 {
-                f.put(&format!("rank{s}"), v, &vec![(s * 37 + v as usize % 251) as u8; 777])
-                    .unwrap();
+                f.put(
+                    &format!("rank{s}"),
+                    v,
+                    &vec![(s * 37 + v as usize % 251) as u8; 777],
+                )
+                .unwrap();
             }
         }
         let mut r = f.into_region();
@@ -818,6 +824,9 @@ mod tests {
             f.truncate_before("nope", 1),
             Err(StoreError::UnknownStream(_))
         ));
-        assert!(matches!(f.unlink("nope"), Err(StoreError::UnknownStream(_))));
+        assert!(matches!(
+            f.unlink("nope"),
+            Err(StoreError::UnknownStream(_))
+        ));
     }
 }

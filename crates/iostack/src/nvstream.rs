@@ -71,7 +71,6 @@ impl NvStore {
         self.region.len() as u64 - HEADER_BYTES
     }
 
-
     /// Format a fresh store over `region`.
     pub fn format(mut region: PmemRegion) -> Result<NvStore, StoreError> {
         if (region.len() as u64) < HEADER_BYTES + 256 {
@@ -155,9 +154,10 @@ impl NvStore {
             }
             let name = String::from_utf8(name)
                 .map_err(|_| StoreError::Corrupt(format!("non-UTF8 name at {pos}")))?;
-            store
-                .index
-                .insert((name.clone(), version), (data_pos, data_len as u32, checksum));
+            store.index.insert(
+                (name.clone(), version),
+                (data_pos, data_len as u32, checksum),
+            );
             store.entries.insert(pos, (name, version, end));
             pos = end;
         }
@@ -182,7 +182,8 @@ impl NvStore {
         let start = logical % ring;
         let first = ((ring - start) as usize).min(data.len());
         let phys = HEADER_BYTES + start;
-        self.region.write(phys, &data[..first], StoreMode::NonTemporal);
+        self.region
+            .write(phys, &data[..first], StoreMode::NonTemporal);
         if first < data.len() {
             self.region
                 .write(HEADER_BYTES, &data[first..], StoreMode::NonTemporal);
@@ -270,11 +271,17 @@ impl NvStore {
             return Ok(()); // entry durable but tail still points before it
         }
         // Phase 2: advance the logical tail (8-byte update, atomic).
-        let end = start + align_up(ENTRY_HEADER_BYTES + name.len() as u64 + data.len() as u64, 64);
+        let end = start
+            + align_up(
+                ENTRY_HEADER_BYTES + name.len() as u64 + data.len() as u64,
+                64,
+            );
         self.persist_pointer(HDR_OFF_TAIL, end);
         self.tail = end;
-        self.index
-            .insert((stream.to_string(), version), (data_pos, data.len() as u32, checksum));
+        self.index.insert(
+            (stream.to_string(), version),
+            (data_pos, data.len() as u32, checksum),
+        );
         self.entries
             .insert(start, (stream.to_string(), version, end));
         Ok(())
@@ -459,7 +466,10 @@ mod tests {
     fn unknown_lookups() {
         let mut s = store();
         s.put("a", 1, b"x").unwrap();
-        assert!(matches!(s.get("nope", 1), Err(StoreError::UnknownStream(_))));
+        assert!(matches!(
+            s.get("nope", 1),
+            Err(StoreError::UnknownStream(_))
+        ));
         assert!(matches!(
             s.get("a", 9),
             Err(StoreError::UnknownVersion { .. })

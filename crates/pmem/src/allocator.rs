@@ -188,7 +188,10 @@ mod tests {
         let rates = a.allocate(&flows);
         let agg = total(&rates);
         let expect = profile().local_write_bw.eval(8.0);
-        assert!((agg - expect).abs() / expect < 0.05, "agg {agg} vs {expect}");
+        assert!(
+            (agg - expect).abs() / expect < 0.05,
+            "agg {agg} vs {expect}"
+        );
     }
 
     #[test]
@@ -286,8 +289,16 @@ mod tests {
         for n in [1usize, 4, 16, 48] {
             let flows: Vec<_> = (0..n)
                 .map(|i| {
-                    let dir = if i % 2 == 0 { Direction::Read } else { Direction::Write };
-                    let loc = if i % 3 == 0 { Locality::Remote } else { Locality::Local };
+                    let dir = if i % 2 == 0 {
+                        Direction::Read
+                    } else {
+                        Direction::Write
+                    };
+                    let loc = if i % 3 == 0 {
+                        Locality::Remote
+                    } else {
+                        Locality::Local
+                    };
                     flow(dir, loc, if i % 2 == 0 { 2048 } else { 64 << 20 }, 2e-10)
                 })
                 .collect();
@@ -304,8 +315,16 @@ mod tests {
         let flows: Vec<_> = (0..9)
             .map(|i| {
                 flow(
-                    if i % 2 == 0 { Direction::Read } else { Direction::Write },
-                    if i < 4 { Locality::Local } else { Locality::Remote },
+                    if i % 2 == 0 {
+                        Direction::Read
+                    } else {
+                        Direction::Write
+                    },
+                    if i < 4 {
+                        Locality::Local
+                    } else {
+                        Locality::Remote
+                    },
                     4096 << i,
                     1e-10 * i as f64,
                 )

@@ -29,7 +29,10 @@ impl Curve {
             );
         }
         for &(x, y) in &points {
-            assert!(x.is_finite() && y.is_finite(), "curve points must be finite");
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "curve points must be finite"
+            );
         }
         Self { points }
     }

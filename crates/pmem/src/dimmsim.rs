@@ -94,14 +94,7 @@ pub fn granularity_sweep(
     sizes
         .iter()
         .map(|&size| {
-            let r = simulate_random_access(
-                geometry,
-                threads,
-                2048,
-                size,
-                dimm_bandwidth,
-                1 << 30,
-            );
+            let r = simulate_random_access(geometry, threads, 2048, size, dimm_bandwidth, 1 << 30);
             (size, r.efficiency)
         })
         .collect()

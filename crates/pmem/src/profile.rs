@@ -221,12 +221,7 @@ impl DeviceProfile {
             st_large_size: 4 << 20,
             small_access_efficiency: 0.82,
             small_access_threads: 6.0,
-            mix_budget: Curve::from_points(&[
-                (0.0, 1.0),
-                (8.1, 1.0),
-                (16.1, 0.43),
-                (48.0, 0.43),
-            ]),
+            mix_budget: Curve::from_points(&[(0.0, 1.0), (8.1, 1.0), (16.1, 0.43), (48.0, 0.43)]),
             small_mix_budget: Curve::from_points(&[
                 (0.0, 1.0),
                 (6.9, 1.0),
@@ -357,8 +352,9 @@ impl DeviceProfile {
         let hide = hide_frac.clamp(0.0, 1.0);
         // Fully hidden: only the streaming bandwidth penalty remains.
         let (small, large) = (self.st_read_small, self.st_read_large);
-        let unchained = log_size_interp(bytes, self.st_small_size, small, self.st_large_size, large)
-            / self.remote_read_penalty.eval(1.0);
+        let unchained =
+            log_size_interp(bytes, self.st_small_size, small, self.st_large_size, large)
+                / self.remote_read_penalty.eval(1.0);
         base + (unchained - base) * hide
     }
 

@@ -96,7 +96,9 @@ impl PmemRegion {
 
     fn check_range(&self, offset: u64, len: usize) {
         assert!(
-            (offset as usize).checked_add(len).is_some_and(|end| end <= self.media.len()),
+            (offset as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.media.len()),
             "access [{offset}, +{len}) out of region bounds ({})",
             self.media.len()
         );
@@ -234,7 +236,11 @@ impl PmemRegion {
     /// lost; only media survives. Returns the number of bytes discarded.
     pub fn crash(&mut self) -> u64 {
         let lost = self.overlay.len() as u64 * CACHE_LINE
-            + self.wc_pending.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+            + self
+                .wc_pending
+                .iter()
+                .map(|(_, d)| d.len() as u64)
+                .sum::<u64>();
         self.overlay.clear();
         self.wc_pending.clear();
         lost
@@ -243,7 +249,11 @@ impl PmemRegion {
     /// Bytes that would be lost if the machine crashed now.
     pub fn volatile_bytes(&self) -> u64 {
         self.overlay.len() as u64 * CACHE_LINE
-            + self.wc_pending.iter().map(|(_, d)| d.len() as u64).sum::<u64>()
+            + self
+                .wc_pending
+                .iter()
+                .map(|(_, d)| d.len() as u64)
+                .sum::<u64>()
     }
 
     /// Traffic statistics.

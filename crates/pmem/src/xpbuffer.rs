@@ -89,7 +89,9 @@ impl XpBuffer {
         for line in first_line..=last_line {
             let line_start = line * XPLINE_BYTES;
             let line_end = line_start + XPLINE_BYTES;
-            let covered = (offset + len).min(line_end).saturating_sub(offset.max(line_start));
+            let covered = (offset + len)
+                .min(line_end)
+                .saturating_sub(offset.max(line_start));
             if let Some(slot) = self.resident.iter_mut().find(|(l, _)| *l == line) {
                 self.stats.hits += 1;
                 slot.1 = (slot.1 + covered).min(XPLINE_BYTES);

@@ -1,9 +1,10 @@
 //! Structural properties of the Optane allocator and profile that the
-//! scheduling conclusions rely on.
+//! scheduling conclusions rely on, checked over a seeded random sample of
+//! the flow space (fixed seed, reproducible failures).
 
+use pmemflow_des::rng::SplitMix64;
 use pmemflow_des::{Direction, FlowAttrs, FlowView, Locality, RateAllocator};
 use pmemflow_pmem::{DeviceProfile, OptaneAllocator};
-use proptest::prelude::*;
 
 fn flow(dir: Direction, loc: Locality, access: u64, sw_tpb: f64) -> FlowView {
     let p = DeviceProfile::optane_gen1();
@@ -19,102 +20,179 @@ fn flow(dir: Direction, loc: Locality, access: u64, sw_tpb: f64) -> FlowView {
     }
 }
 
-fn arb_flow() -> impl Strategy<Value = FlowView> {
-    (
-        proptest::bool::ANY,
-        proptest::bool::ANY,
-        prop_oneof![Just(2048u64), Just(4608), Just(1 << 20), Just(64 << 20)],
-        0u64..3000,
+fn random_flow(rng: &mut SplitMix64) -> FlowView {
+    let access = [2048u64, 4608, 1 << 20, 64 << 20][rng.range_usize(0, 4)];
+    let sw_ns_per_kb = rng.range_u64(0, 3000);
+    flow(
+        if rng.next_bool() {
+            Direction::Read
+        } else {
+            Direction::Write
+        },
+        if rng.next_bool() {
+            Locality::Remote
+        } else {
+            Locality::Local
+        },
+        access,
+        sw_ns_per_kb as f64 * 1e-9 / 1024.0,
     )
-        .prop_map(|(read, remote, access, sw_ns_per_kb)| {
-            flow(
-                if read { Direction::Read } else { Direction::Write },
-                if remote { Locality::Remote } else { Locality::Local },
-                access,
-                sw_ns_per_kb as f64 * 1e-9 / 1024.0,
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn random_flows(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<FlowView> {
+    let n = rng.range_usize(lo, hi);
+    (0..n).map(|_| random_flow(rng)).collect()
+}
 
-    /// Permutation invariance: reordering the flow set permutes the rates
-    /// identically (no positional bias in the allocator).
-    #[test]
-    fn allocation_is_permutation_invariant(
-        flows in proptest::collection::vec(arb_flow(), 2..12),
-        swap in (0usize..12, 0usize..12),
-    ) {
+/// Permutation invariance: reordering the flow set permutes the rates
+/// identically (no positional bias in the allocator).
+#[test]
+fn allocation_is_permutation_invariant() {
+    let mut rng = SplitMix64::new(0x0de1_0001);
+    for _case in 0..40 {
+        let flows = random_flows(&mut rng, 2, 12);
         let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
         let rates = alloc.allocate(&flows);
-        let (i, j) = (swap.0 % flows.len(), swap.1 % flows.len());
+        let i = rng.range_usize(0, flows.len());
+        let j = rng.range_usize(0, flows.len());
         let mut permuted = flows.clone();
         permuted.swap(i, j);
         let rates_p = alloc.allocate(&permuted);
         // Water-filling breaks ties among equal caps by position, so the
         // guarantee is equality up to float noise, not bitwise.
         let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.max(b).max(1.0);
-        prop_assert!(close(rates[i], rates_p[j]), "{} vs {}", rates[i], rates_p[j]);
-        prop_assert!(close(rates[j], rates_p[i]), "{} vs {}", rates[j], rates_p[i]);
+        assert!(
+            close(rates[i], rates_p[j]),
+            "{} vs {}",
+            rates[i],
+            rates_p[j]
+        );
+        assert!(
+            close(rates[j], rates_p[i]),
+            "{} vs {}",
+            rates[j],
+            rates_p[i]
+        );
         for k in 0..flows.len() {
             if k != i && k != j {
-                prop_assert!(close(rates[k], rates_p[k]));
+                assert!(close(rates[k], rates_p[k]));
             }
         }
     }
+}
 
-    /// Equal flows get equal rates (fairness within a class).
-    #[test]
-    fn identical_flows_get_identical_rates(
-        n in 2usize..24,
-        read in proptest::bool::ANY,
-        remote in proptest::bool::ANY,
-    ) {
+/// Equal flows get equal rates (fairness within a class).
+#[test]
+fn identical_flows_get_identical_rates() {
+    let mut rng = SplitMix64::new(0x0de1_0002);
+    for _case in 0..40 {
+        let n = rng.range_usize(2, 24);
         let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
         let f = flow(
-            if read { Direction::Read } else { Direction::Write },
-            if remote { Locality::Remote } else { Locality::Local },
+            if rng.next_bool() {
+                Direction::Read
+            } else {
+                Direction::Write
+            },
+            if rng.next_bool() {
+                Locality::Remote
+            } else {
+                Locality::Local
+            },
             1 << 20,
             1e-10,
         );
         let flows: Vec<FlowView> = (0..n).map(|_| f.clone()).collect();
         let rates = alloc.allocate(&flows);
         for r in &rates {
-            prop_assert!((r - rates[0]).abs() < 1e-6 * rates[0]);
+            assert!((r - rates[0]).abs() < 1e-6 * rates[0]);
         }
     }
+}
 
-    /// Adding a flow never increases anyone else's rate (contention is
-    /// monotone).
-    #[test]
-    fn adding_a_flow_never_speeds_others_up(
-        flows in proptest::collection::vec(arb_flow(), 1..10),
-        extra in arb_flow(),
-    ) {
+/// Adding a flow never increases anyone else's rate once the device is
+/// saturated (contention is monotone past the read-scaling knee).
+///
+/// The blanket version of this property is false for Optane and would
+/// contradict the paper: local read bandwidth *scales* with concurrency up
+/// to ~17 threads (§II-B / FAST'20 Fig. 4), so below the knee a new flow
+/// raises the read class capacity and can legitimately speed existing
+/// readers up. Past the knee every class-capacity curve is non-increasing
+/// in effective concurrency, so monotonicity must hold. Flows use zero
+/// software cost so duty cycles pin effective concurrency to the flow
+/// count, keeping the whole sample in the saturated regime.
+#[test]
+fn adding_a_flow_never_speeds_others_up_once_saturated() {
+    let mut rng = SplitMix64::new(0x0de1_0003);
+    let saturated_flow = |rng: &mut SplitMix64| {
+        let access = [2048u64, 4608, 1 << 20, 64 << 20][rng.range_usize(0, 4)];
+        flow(
+            if rng.next_bool() {
+                Direction::Read
+            } else {
+                Direction::Write
+            },
+            if rng.next_bool() {
+                Locality::Remote
+            } else {
+                Locality::Local
+            },
+            access,
+            0.0,
+        )
+    };
+    for _case in 0..40 {
+        let n = rng.range_usize(18, 25);
+        let flows: Vec<FlowView> = (0..n).map(|_| saturated_flow(&mut rng)).collect();
+        let extra = saturated_flow(&mut rng);
         let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
         let before = alloc.allocate(&flows);
         let mut more = flows.clone();
         more.push(extra);
         let after = alloc.allocate(&more);
         for (b, a) in before.iter().zip(after.iter()) {
-            prop_assert!(*a <= b * (1.0 + 5e-2), "rate rose from {b} to {a}");
+            assert!(*a <= b * (1.0 + 5e-2), "rate rose from {b} to {a}");
         }
     }
+}
 
-    /// Class capacities never go negative or NaN anywhere in the space.
-    #[test]
-    fn class_capacity_is_finite_positive(
-        n_total in 0.0f64..64.0,
-        n_remote_frac in 0.0f64..1.0,
-        access_pow in 6u32..27,
-    ) {
+/// Below the knee the opposite holds for reads: aggregate read throughput
+/// grows with reader count (the paper's read-scaling characterization,
+/// §II-B), which is exactly why the monotone-contention property above is
+/// restricted to the saturated regime.
+#[test]
+fn read_aggregate_scales_below_saturation() {
+    let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
+    let agg = |n: usize| {
+        let flows: Vec<FlowView> = (0..n)
+            .map(|_| flow(Direction::Read, Locality::Local, 64 << 20, 0.0))
+            .collect();
+        alloc.allocate(&flows).iter().sum::<f64>()
+    };
+    let mut prev = 0.0;
+    for n in [1usize, 2, 4, 8, 12, 16] {
+        let a = agg(n);
+        assert!(
+            a > prev * 1.05,
+            "aggregate read rate stalled at n={n}: {a} vs {prev}"
+        );
+        prev = a;
+    }
+}
+
+/// Class capacities never go negative or NaN anywhere in the space.
+#[test]
+fn class_capacity_is_finite_positive() {
+    let mut rng = SplitMix64::new(0x0de1_0004);
+    for _case in 0..40 {
+        let n_total = rng.range_f64(0.0, 64.0);
+        let n_remote = n_total * rng.next_f64();
+        let access_pow = rng.range_u64(6, 27) as u32;
         let p = DeviceProfile::optane_gen1();
-        let n_remote = n_total * n_remote_frac;
         for dir in [Direction::Read, Direction::Write] {
             for loc in [Locality::Local, Locality::Remote] {
                 let c = p.class_capacity(dir, loc, 1u64 << access_pow, n_total, n_remote);
-                prop_assert!(c.is_finite() && c > 0.0, "{dir:?} {loc:?}: {c}");
+                assert!(c.is_finite() && c > 0.0, "{dir:?} {loc:?}: {c}");
             }
         }
     }

@@ -1,127 +1,186 @@
-//! Property-based tests of the device-model primitives.
+//! Randomized-but-deterministic tests of the device-model primitives
+//! (seeded generator, reproducible failures).
 
+use pmemflow_des::rng::SplitMix64;
 use pmemflow_pmem::{
     Curve, DeviceProfile, InterleaveGeometry, Interleaver, PmemRegion, StoreMode, XpBuffer,
     XPLINE_BYTES,
 };
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
-proptest! {
-    /// Curve evaluation stays within the convex hull of the calibration
-    /// points and clamps at the boundaries.
-    #[test]
-    fn curve_eval_is_bounded(
-        points in proptest::collection::btree_map(0u32..1000, 0f64..100.0, 2..10),
-        x in -10f64..2000.0,
-    ) {
+/// Curve evaluation stays within the convex hull of the calibration points
+/// and clamps at the boundaries.
+#[test]
+fn curve_eval_is_bounded() {
+    let mut rng = SplitMix64::new(0xc0_0001);
+    for _case in 0..256 {
+        let n = rng.range_usize(2, 10);
+        let mut points: BTreeMap<u32, f64> = BTreeMap::new();
+        while points.len() < n {
+            points.insert(rng.range_u64(0, 1000) as u32, rng.range_f64(0.0, 100.0));
+        }
+        let x = rng.range_f64(-10.0, 2000.0);
         let pts: Vec<(f64, f64)> = points.into_iter().map(|(x, y)| (x as f64, y)).collect();
         let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let c = Curve::new(pts);
         let y = c.eval(x);
-        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
     }
+}
 
-    /// Interleaver segments partition any range exactly, each within one
-    /// chunk, with consistent DIMM assignment.
-    #[test]
-    fn interleaver_segments_partition(
-        dimms in 1usize..8,
-        chunk_pow in 8u32..14,
-        offset in 0u64..1_000_000,
-        len in 0u64..500_000,
-    ) {
-        let chunk = 1u64 << chunk_pow;
-        let il = Interleaver::new(InterleaveGeometry { dimms, chunk_bytes: chunk });
+/// Interleaver segments partition any range exactly, each within one
+/// chunk, with consistent DIMM assignment.
+#[test]
+fn interleaver_segments_partition() {
+    let mut rng = SplitMix64::new(0xc0_0002);
+    for _case in 0..256 {
+        let dimms = rng.range_usize(1, 8);
+        let chunk = 1u64 << rng.range_u64(8, 14);
+        let offset = rng.range_u64(0, 1_000_000);
+        let len = rng.range_u64(0, 500_000);
+        let il = Interleaver::new(InterleaveGeometry {
+            dimms,
+            chunk_bytes: chunk,
+        });
         let segs = il.segments(offset, len);
         let total: u64 = segs.iter().map(|s| s.len).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len);
         let mut pos = offset;
         for seg in &segs {
-            prop_assert_eq!(seg.offset, pos);
-            prop_assert!(seg.len <= chunk);
-            prop_assert_eq!(seg.dimm, il.dimm_of(seg.offset));
+            assert_eq!(seg.offset, pos);
+            assert!(seg.len <= chunk);
+            assert_eq!(seg.dimm, il.dimm_of(seg.offset));
             // A segment never crosses a chunk boundary.
-            prop_assert_eq!(seg.offset / chunk, (seg.offset + seg.len - 1).max(seg.offset) / chunk);
+            assert_eq!(
+                seg.offset / chunk,
+                (seg.offset + seg.len - 1).max(seg.offset) / chunk
+            );
             pos += seg.len;
         }
     }
+}
 
-    /// Region: read-your-writes for arbitrary offsets/sizes/modes, and
-    /// persisted data survives a crash.
-    #[test]
-    fn region_read_your_writes_and_durability(
-        offset in 0u64..60_000,
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
-        cached in proptest::bool::ANY,
-    ) {
-        let mut r = PmemRegion::new(1 << 16, InterleaveGeometry { dimms: 6, chunk_bytes: 4096 });
-        prop_assume!(offset as usize + data.len() <= r.len());
-        let mode = if cached { StoreMode::Cached } else { StoreMode::NonTemporal };
+/// Region: read-your-writes for arbitrary offsets/sizes/modes, and
+/// persisted data survives a crash.
+#[test]
+fn region_read_your_writes_and_durability() {
+    let mut rng = SplitMix64::new(0xc0_0003);
+    let mut cases = 0;
+    while cases < 256 {
+        let offset = rng.range_u64(0, 60_000);
+        let len = rng.range_usize(1, 2000);
+        let data = rng.bytes(len);
+        let cached = rng.next_bool();
+        let mut r = PmemRegion::new(
+            1 << 16,
+            InterleaveGeometry {
+                dimms: 6,
+                chunk_bytes: 4096,
+            },
+        );
+        if offset as usize + data.len() > r.len() {
+            continue;
+        }
+        cases += 1;
+        let mode = if cached {
+            StoreMode::Cached
+        } else {
+            StoreMode::NonTemporal
+        };
         r.write(offset, &data, mode);
         let mut out = vec![0u8; data.len()];
         r.read(offset, &mut out);
-        prop_assert_eq!(&out, &data);
+        assert_eq!(&out, &data);
         // Persist and crash: still there.
         r.persist(offset, data.len() as u64);
         r.crash();
         let mut out2 = vec![0u8; data.len()];
         r.read(offset, &mut out2);
-        prop_assert_eq!(&out2, &data);
+        assert_eq!(&out2, &data);
     }
+}
 
-    /// Region: unpersisted data never survives a crash (reads return the
-    /// pre-write contents).
-    #[test]
-    fn region_unpersisted_is_lost(
-        offset in 0u64..60_000,
-        data in proptest::collection::vec(1u8..=255, 1..2000),
-        cached in proptest::bool::ANY,
-    ) {
-        let mut r = PmemRegion::new(1 << 16, InterleaveGeometry { dimms: 6, chunk_bytes: 4096 });
-        prop_assume!(offset as usize + data.len() <= r.len());
-        let mode = if cached { StoreMode::Cached } else { StoreMode::NonTemporal };
+/// Region: unpersisted data never survives a crash (reads return the
+/// pre-write contents).
+#[test]
+fn region_unpersisted_is_lost() {
+    let mut rng = SplitMix64::new(0xc0_0004);
+    let mut cases = 0;
+    while cases < 256 {
+        let offset = rng.range_u64(0, 60_000);
+        let len = rng.range_usize(1, 2000);
+        let mut data = rng.bytes(len);
+        for b in &mut data {
+            *b = (*b % 255) + 1; // 1..=255, never 0
+        }
+        let cached = rng.next_bool();
+        let mut r = PmemRegion::new(
+            1 << 16,
+            InterleaveGeometry {
+                dimms: 6,
+                chunk_bytes: 4096,
+            },
+        );
+        if offset as usize + data.len() > r.len() {
+            continue;
+        }
+        cases += 1;
+        let mode = if cached {
+            StoreMode::Cached
+        } else {
+            StoreMode::NonTemporal
+        };
         r.write(offset, &data, mode);
         r.crash();
         let mut out = vec![0xEEu8; data.len()];
         r.read(offset, &mut out);
-        prop_assert!(out.iter().all(|&b| b == 0), "unpersisted bytes visible after crash");
+        assert!(
+            out.iter().all(|&b| b == 0),
+            "unpersisted bytes visible after crash"
+        );
     }
+}
 
-    /// XPBuffer: write amplification is always within [1, 4] once drained,
-    /// and media bytes are a multiple of the XPLine size.
-    #[test]
-    fn xpbuffer_amplification_bounds(
-        writes in proptest::collection::vec((0u64..100_000, 1u64..2048), 1..200),
-    ) {
+/// XPBuffer: write amplification is always within bounds once drained,
+/// and media bytes are a multiple of the XPLine size.
+#[test]
+fn xpbuffer_amplification_bounds() {
+    let mut rng = SplitMix64::new(0xc0_0005);
+    for _case in 0..256 {
+        let n_writes = rng.range_usize(1, 200);
         let mut buf = XpBuffer::new(16 * 1024);
-        for (off, len) in &writes {
-            buf.write(*off, *len);
+        for _ in 0..n_writes {
+            buf.write(rng.range_u64(0, 100_000), rng.range_u64(1, 2048));
         }
         buf.drain();
         let s = buf.stats();
-        prop_assert_eq!(s.media_bytes % XPLINE_BYTES, 0);
+        assert_eq!(s.media_bytes % XPLINE_BYTES, 0);
         // Amplification can't exceed (XPLINE per touched line) / 1 byte,
         // but with ≥1-byte writes it is at most 256; with drained buffer
         // it is at least... media ≥ host only when writes don't coalesce;
         // the hard invariant is media ≥ lines touched × 256 ≥ host/256.
-        prop_assert!(s.write_amplification() >= 1.0 / 256.0);
-        prop_assert!(s.media_bytes >= s.host_bytes / 256);
+        assert!(s.write_amplification() >= 1.0 / 256.0);
+        assert!(s.media_bytes >= s.host_bytes / 256);
     }
+}
 
-    /// single_thread_rate is monotone in access size for every class.
-    #[test]
-    fn single_thread_rate_monotone_in_size(sizes in proptest::collection::vec(6u32..26, 2..8)) {
-        use pmemflow_des::{Direction, Locality};
-        let p = DeviceProfile::optane_gen1();
-        let mut sorted = sizes.clone();
+/// single_thread_rate is monotone in access size for every class.
+#[test]
+fn single_thread_rate_monotone_in_size() {
+    use pmemflow_des::{Direction, Locality};
+    let mut rng = SplitMix64::new(0xc0_0006);
+    for _case in 0..256 {
+        let n = rng.range_usize(2, 8);
+        let mut sorted: Vec<u32> = (0..n).map(|_| rng.range_u64(6, 26) as u32).collect();
         sorted.sort_unstable();
+        let p = DeviceProfile::optane_gen1();
         for dir in [Direction::Read, Direction::Write] {
             for loc in [Locality::Local, Locality::Remote] {
                 let mut prev = 0.0;
                 for pow in &sorted {
                     let rate = p.single_thread_rate(dir, loc, 1u64 << pow);
-                    prop_assert!(rate >= prev - 1e-6, "{dir:?} {loc:?} at 2^{pow}");
+                    assert!(rate >= prev - 1e-6, "{dir:?} {loc:?} at 2^{pow}");
                     prev = rate;
                 }
             }

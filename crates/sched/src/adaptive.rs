@@ -134,9 +134,7 @@ mod tests {
     #[test]
     fn accounting_adds_up() {
         let out = explore_then_commit(&micro_64mb(8), 1, &params()).unwrap();
-        assert!(
-            (out.total_runtime - (out.exploration_cost + out.remainder_runtime)).abs() < 1e-9
-        );
+        assert!((out.total_runtime - (out.exploration_cost + out.remainder_runtime)).abs() < 1e-9);
         assert!(out.oracle_runtime <= out.total_runtime);
     }
 }

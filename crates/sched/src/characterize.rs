@@ -122,8 +122,16 @@ mod tests {
         assert_eq!(p.sim_compute, Level::Nil);
         assert_eq!(p.sim_write, Level::High);
         assert_eq!(p.analytics_read, Level::High);
-        assert!(p.is_bandwidth_constrained(), "saturation {}", p.write_saturation);
-        assert!(p.sim_device_concurrency > 10.0, "n_eff {}", p.sim_device_concurrency);
+        assert!(
+            p.is_bandwidth_constrained(),
+            "saturation {}",
+            p.write_saturation
+        );
+        assert!(
+            p.sim_device_concurrency > 10.0,
+            "n_eff {}",
+            p.sim_device_concurrency
+        );
     }
 
     #[test]

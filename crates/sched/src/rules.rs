@@ -71,7 +71,9 @@ pub fn recommend(profile: &WorkflowProfile, th: &RuleThresholds) -> Decision {
     // viable at moderate concurrency where a read-only kernel would chase
     // the writer's I/O windows.
     let hiding = profile.analytics_compute >= Level::Low;
-    let mode = if combined > th.serial_concurrency && !(hiding && combined <= th.serial_concurrency * 1.5) {
+    let mode = if combined > th.serial_concurrency
+        && !(hiding && combined <= th.serial_concurrency * 1.5)
+    {
         reasons.push(
             "high effective device concurrency: serialize components to limit \
              contention (§VIII rule 1)",

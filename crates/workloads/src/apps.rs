@@ -241,10 +241,8 @@ mod tests {
         // Compute per unit of written data: GTC computes far longer per
         // byte than miniAMR (the calibrated absolute values are small
         // because weak-scaled per-rank snapshots are sub-GB).
-        let gtc_ratio = gtc.writer.compute_per_iteration
-            / gtc.writer.io.snapshot_bytes() as f64;
-        let amr_ratio = amr.writer.compute_per_iteration
-            / amr.writer.io.snapshot_bytes() as f64;
+        let gtc_ratio = gtc.writer.compute_per_iteration / gtc.writer.io.snapshot_bytes() as f64;
+        let amr_ratio = amr.writer.compute_per_iteration / amr.writer.io.snapshot_bytes() as f64;
         assert!(gtc_ratio > 5.0 * amr_ratio, "{gtc_ratio} vs {amr_ratio}");
         assert!(amr.writer.compute_per_iteration < 0.5);
         // GTC objects are huge, miniAMR objects tiny.

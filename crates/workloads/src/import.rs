@@ -74,8 +74,11 @@ pub fn parse_workflows(text: &str) -> Result<Vec<WorkflowSpec>, ParseError> {
             });
         }
         let ranks: usize = parse_num(field(&parts, 1, "ranks", line_no)?, "ranks", line_no)?;
-        let iterations: u64 =
-            parse_num(field(&parts, 2, "iterations", line_no)?, "iterations", line_no)?;
+        let iterations: u64 = parse_num(
+            field(&parts, 2, "iterations", line_no)?,
+            "iterations",
+            line_no,
+        )?;
         let wc: f64 = parse_num(
             field(&parts, 3, "writer_compute_s", line_no)?,
             "writer_compute_s",

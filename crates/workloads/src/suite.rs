@@ -118,14 +118,16 @@ pub fn paper_suite() -> Vec<SuiteEntry> {
         (Family::MiniAmrMatMul, 24, "Fig. 9c", "S-LocW", 4),
     ];
     rows.into_iter()
-        .map(|(family, ranks, panel, paper_winner, table2_row)| SuiteEntry {
-            family,
-            ranks,
-            spec: family.build(ranks),
-            panel,
-            paper_winner,
-            table2_row,
-        })
+        .map(
+            |(family, ranks, panel, paper_winner, table2_row)| SuiteEntry {
+                family,
+                ranks,
+                spec: family.build(ranks),
+                panel,
+                paper_winner,
+                table2_row,
+            },
+        )
         .collect()
 }
 

@@ -22,22 +22,40 @@ fn main() {
         (
             "bandwidth-bound + bandwidth-bound",
             vec![
-                Tenant { spec: micro_64mb(8), config: SchedConfig::S_LOC_W },
-                Tenant { spec: micro_64mb(8), config: SchedConfig::S_LOC_W },
+                Tenant {
+                    spec: micro_64mb(8),
+                    config: SchedConfig::S_LOC_W,
+                },
+                Tenant {
+                    spec: micro_64mb(8),
+                    config: SchedConfig::S_LOC_W,
+                },
             ],
         ),
         (
             "bandwidth-bound + compute-bound",
             vec![
-                Tenant { spec: micro_64mb(8), config: SchedConfig::S_LOC_W },
-                Tenant { spec: gtc_matmul(8), config: SchedConfig::P_LOC_R },
+                Tenant {
+                    spec: micro_64mb(8),
+                    config: SchedConfig::S_LOC_W,
+                },
+                Tenant {
+                    spec: gtc_matmul(8),
+                    config: SchedConfig::P_LOC_R,
+                },
             ],
         ),
         (
             "compute-bound + small-object streaming",
             vec![
-                Tenant { spec: gtc_matmul(8), config: SchedConfig::P_LOC_R },
-                Tenant { spec: miniamr_readonly(8), config: SchedConfig::P_LOC_R },
+                Tenant {
+                    spec: gtc_matmul(8),
+                    config: SchedConfig::P_LOC_R,
+                },
+                Tenant {
+                    spec: miniamr_readonly(8),
+                    config: SchedConfig::P_LOC_R,
+                },
             ],
         ),
     ];

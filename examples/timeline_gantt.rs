@@ -35,7 +35,10 @@ fn main() {
         for config in [SchedConfig::S_LOC_W, SchedConfig::P_LOC_R] {
             let m = execute(&spec, config, &params).expect("run");
             let tl = m.timeline.as_ref().expect("timeline recorded");
-            println!("=== {} under {} — {:.1}s total ===", spec.name, config, m.total);
+            println!(
+                "=== {} under {} — {:.1}s total ===",
+                spec.name, config, m.total
+            );
             println!("{}", tl.ascii_gantt(96));
             println!(
                 "device saw ≥2 concurrent I/O flows {:.0}% of the run\n",

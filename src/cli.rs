@@ -7,8 +7,7 @@
 use pmemflow_core::SchedConfig;
 use pmemflow_iostack::StackKind;
 use pmemflow_workloads::{
-    gtc_matmul, gtc_readonly, micro_2kb, micro_64mb, miniamr_matmul, miniamr_readonly,
-    WorkflowSpec,
+    gtc_matmul, gtc_readonly, micro_2kb, micro_64mb, miniamr_matmul, miniamr_readonly, WorkflowSpec,
 };
 use std::collections::BTreeMap;
 
@@ -85,7 +84,9 @@ impl Args {
         let mut options = BTreeMap::new();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| CliError::MissingValue(key.into()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(key.into()))?;
                 options.insert(key.to_string(), value);
             } else {
                 return Err(CliError::UnexpectedPositional(a));
@@ -192,6 +193,16 @@ mod tests {
         assert_eq!(a.command, "sweep");
         assert_eq!(a.get("workload"), Some("gtc-readonly"));
         assert_eq!(a.get_parse("ranks", 8usize, "int").unwrap(), 16);
+    }
+
+    #[test]
+    fn duplicate_flags_last_wins() {
+        // The `Args` docs promise last-wins for repeated options; `BTreeMap::insert`
+        // replaces the prior value, so the final occurrence is the one kept.
+        let a = args(&["sweep", "--ranks", "8", "--ranks", "24"]).unwrap();
+        assert_eq!(a.get("ranks"), Some("24"));
+        assert_eq!(a.get_parse("ranks", 0usize, "int").unwrap(), 24);
+        assert_eq!(a.options.len(), 1);
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use pmemflow_sched as sched;
 pub use pmemflow_workloads as workloads;
 
 pub use pmemflow_core::{
-    execute, sweep, ConfigSweep, ExecMode, ExecutionParams, Placement, RunMetrics, SchedConfig,
+    execute, full_matrix, map_ordered, run_matrix, sweep, ConfigSweep, ExecMode, ExecutionParams,
+    Placement, RunMetrics, RunOutcome, RunRequest, SchedConfig,
 };
 pub use pmemflow_pmem::DeviceProfile;
 pub use pmemflow_sched::{characterize, decide, explore_then_commit, recommend, RuleThresholds};

@@ -6,18 +6,21 @@
 //! pmemflow recommend    --workload micro-2kb --ranks 24
 //! pmemflow plan         --workload gtc-matmult --deadline 30 --candidates 8,16,24
 //! pmemflow gantt        --workload micro-64mb --ranks 8 --config P-LocW [--chrome out.json]
-//! pmemflow suite
+//! pmemflow suite        [--jobs N] [--out runs.jsonl] [--trace-dir DIR]
 //! pmemflow devicebench
 //! pmemflow help
 //! ```
 
 use pmemflow::cli::{
-    config_by_name, parse_rank_list, stack_by_name, workload_by_name, Args, WORKLOAD_CHOICES,
+    config_by_name, parse_rank_list, stack_by_name, workload_by_name, Args, CliError,
+    WORKLOAD_CHOICES,
 };
 use pmemflow::core::report::panel_table;
 use pmemflow::pmem::{bandwidth_table, headline_ratios, DeviceProfile, GB};
 use pmemflow::sched::{characterize, classify, plan, recommend, RuleThresholds};
-use pmemflow::{decide, execute, paper_suite, sweep, ExecutionParams, SchedConfig};
+use pmemflow::{
+    decide, execute, full_matrix, paper_suite, run_matrix, sweep, ExecutionParams, SchedConfig,
+};
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -38,7 +41,11 @@ COMMANDS:
                   --workload NAME --deadline SECONDS --candidates 8,16,24
   gantt         render rank timelines for one configuration
                   --workload NAME --ranks N --config S-LocW [--chrome FILE]
-  suite         run the full 18-workload suite vs the paper's Table II
+  suite         run the full 144-run matrix (18 workloads x 4 configs x
+                2 I/O stacks) vs the paper's Table II
+                  --jobs N          parallel simulations (default: cores)
+                  --out FILE        one JSON record per run (JSON Lines)
+                  --trace-dir DIR   Chrome trace-event JSON per run
   devicebench   print the modeled §II-B device characterization
   help          this text
 
@@ -53,9 +60,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let ranks: usize = args.get_parse("ranks", 8, "a rank count")?;
     let need_workload = || -> Result<_, Box<dyn std::error::Error>> {
-        let name = args.get("workload").ok_or_else(|| {
-            format!("--workload is required; choices: {WORKLOAD_CHOICES}")
-        })?;
+        let name = args
+            .get("workload")
+            .ok_or_else(|| format!("--workload is required; choices: {WORKLOAD_CHOICES}"))?;
         Ok(workload_by_name(name, ranks)?)
     };
 
@@ -73,16 +80,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let spec = need_workload()?;
             let p = characterize(&spec, &params)?;
             println!("workflow: {}", p.name);
-            println!("  sim      compute={:<7} write={:<7} I/O index {:.2}",
-                p.sim_compute.label(), p.sim_write.label(), p.sim_io_index);
-            println!("  analytics compute={:<7} read={:<8} I/O index {:.2}",
-                p.analytics_compute.label(), p.analytics_read.label(), p.analytics_io_index);
-            println!("  effective device concurrency: sim {:.1} + analytics {:.1} = {:.1}",
-                p.sim_device_concurrency, p.analytics_device_concurrency,
-                p.combined_device_concurrency());
-            println!("  write saturation: {:.2} ({}constrained)",
+            println!(
+                "  sim      compute={:<7} write={:<7} I/O index {:.2}",
+                p.sim_compute.label(),
+                p.sim_write.label(),
+                p.sim_io_index
+            );
+            println!(
+                "  analytics compute={:<7} read={:<8} I/O index {:.2}",
+                p.analytics_compute.label(),
+                p.analytics_read.label(),
+                p.analytics_io_index
+            );
+            println!(
+                "  effective device concurrency: sim {:.1} + analytics {:.1} = {:.1}",
+                p.sim_device_concurrency,
+                p.analytics_device_concurrency,
+                p.combined_device_concurrency()
+            );
+            println!(
+                "  write saturation: {:.2} ({}constrained)",
                 p.write_saturation,
-                if p.is_bandwidth_constrained() { "" } else { "not " });
+                if p.is_bandwidth_constrained() {
+                    ""
+                } else {
+                    "not "
+                }
+            );
         }
         "recommend" => {
             let spec = need_workload()?;
@@ -93,7 +117,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  - {r}");
             }
             if let Some(row) = classify(&profile) {
-                println!("Table II row {}: {} ({})", row.row, row.config, row.illustrated_by);
+                println!(
+                    "Table II row {}: {} ({})",
+                    row.row, row.config, row.illustrated_by
+                );
             } else {
                 println!("Table II: no row covers this workload class");
             }
@@ -115,7 +142,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             for pt in &p.frontier {
                 println!(
                     "{:>5}  {:<7}  {:>9.1}  {:>12.0}  {:>9.2}",
-                    pt.ranks, pt.config.label(), pt.runtime, pt.core_seconds, pt.efficiency
+                    pt.ranks,
+                    pt.config.label(),
+                    pt.runtime,
+                    pt.core_seconds,
+                    pt.efficiency
                 );
             }
             match p.chosen {
@@ -144,11 +175,72 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "suite" => {
+            let jobs: usize = args.get_parse(
+                "jobs",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+                "a positive worker count",
+            )?;
+            if jobs == 0 {
+                return Err(CliError::BadValue {
+                    option: "jobs".into(),
+                    value: "0".into(),
+                    expected: "a positive worker count",
+                }
+                .into());
+            }
+            if args.get("trace-dir").is_some() {
+                params.record_timeline = true;
+            }
+            let outcomes = run_matrix(full_matrix(), &params, jobs);
+
+            if let Some(path) = args.get("out") {
+                let mut buf = String::with_capacity(outcomes.len() * 512);
+                for o in &outcomes {
+                    buf.push_str(&o.to_jsonl());
+                    buf.push('\n');
+                }
+                std::fs::write(path, buf)?;
+                println!("{} JSONL records written to {path}\n", outcomes.len());
+            }
+            if let Some(dir) = args.get("trace-dir") {
+                std::fs::create_dir_all(dir)?;
+                let mut written = 0;
+                for o in &outcomes {
+                    if let Some(tl) = o.result.as_ref().ok().and_then(|m| m.timeline.as_ref()) {
+                        let file = format!(
+                            "{dir}/{}-{}r-{}-{}.json",
+                            trace_file_stem(&o.workflow),
+                            o.ranks,
+                            o.stack.name(),
+                            o.config.label()
+                        );
+                        std::fs::write(&file, tl.chrome_trace_json())?;
+                        written += 1;
+                    }
+                }
+                println!("{written} Chrome traces written to {dir}\n");
+            }
+
+            // Table II covers the NVStream half of the matrix; full_matrix()
+            // is stack-major with NVStream first, so the first 72 outcomes
+            // line up with paper_suite() in chunks of four configurations.
+            let entries = paper_suite();
             let mut agree = 0;
             println!("panel     workload                ranks  model    paper   ");
-            for entry in paper_suite() {
-                let sw = sweep(&entry.spec, &params)?;
-                let model = sw.best().config;
+            for (entry, chunk) in entries.iter().zip(outcomes.chunks(SchedConfig::ALL.len())) {
+                let model = chunk
+                    .iter()
+                    .filter_map(|o| o.result.as_ref().ok().map(|m| (o.config, m.total)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("totals are finite"));
+                let Some((model, _)) = model else {
+                    println!(
+                        "{:<9} {:<23} {:>5}  (all four runs failed)",
+                        entry.panel,
+                        entry.family.name(),
+                        entry.ranks
+                    );
+                    continue;
+                };
                 let ok = model.label() == entry.paper_winner;
                 if ok {
                     agree += 1;
@@ -163,7 +255,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     if ok { "" } else { "<-- differs" }
                 );
             }
-            println!("\nagreement with the paper's Table II: {agree}/18");
+            println!(
+                "\nagreement with the paper's Table II: {agree}/{}",
+                entries.len()
+            );
+            let failures = outcomes.iter().filter(|o| o.result.is_err()).count();
+            let wall: f64 = outcomes.iter().map(|o| o.wall_secs).sum();
+            println!(
+                "{} runs ({failures} failed) over {jobs} worker(s); {wall:.2}s total simulation wall time",
+                outcomes.len()
+            );
         }
         "devicebench" => {
             let profile = DeviceProfile::optane_gen1();
@@ -193,6 +294,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// Make a workflow name safe as a file-name stem (suite names contain '+').
+fn trace_file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {

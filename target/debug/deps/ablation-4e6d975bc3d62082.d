@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4e6d975bc3d62082.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4e6d975bc3d62082: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ea6eb0df0639428f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ea6eb0df0639428f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator-6ffde46e0f18d99e.d: crates/bench/benches/allocator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator-6ffde46e0f18d99e.rmeta: crates/bench/benches/allocator.rs Cargo.toml
+
+crates/bench/benches/allocator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

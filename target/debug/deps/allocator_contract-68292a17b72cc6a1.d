@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_contract-68292a17b72cc6a1.d: crates/des/tests/allocator_contract.rs
+
+/root/repo/target/debug/deps/allocator_contract-68292a17b72cc6a1: crates/des/tests/allocator_contract.rs
+
+crates/des/tests/allocator_contract.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator_contract-c2ebeed25e0f8e59.d: crates/des/tests/allocator_contract.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator_contract-c2ebeed25e0f8e59.rmeta: crates/des/tests/allocator_contract.rs Cargo.toml
+
+crates/des/tests/allocator_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

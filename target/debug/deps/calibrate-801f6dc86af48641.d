@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-801f6dc86af48641.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-801f6dc86af48641: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

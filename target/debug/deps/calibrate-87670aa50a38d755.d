@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-87670aa50a38d755.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-87670aa50a38d755: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

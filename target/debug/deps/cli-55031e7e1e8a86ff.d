@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-55031e7e1e8a86ff.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-55031e7e1e8a86ff.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pmemflow=placeholder:pmemflow
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

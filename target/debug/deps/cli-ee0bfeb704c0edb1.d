@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-ee0bfeb704c0edb1.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-ee0bfeb704c0edb1: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pmemflow=/root/repo/target/debug/pmemflow

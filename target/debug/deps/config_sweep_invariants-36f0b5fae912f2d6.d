@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_sweep_invariants-36f0b5fae912f2d6.d: crates/core/tests/config_sweep_invariants.rs
+
+/root/repo/target/debug/deps/config_sweep_invariants-36f0b5fae912f2d6: crates/core/tests/config_sweep_invariants.rs
+
+crates/core/tests/config_sweep_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/config_sweep_invariants-f120f8698bda01d7.d: crates/core/tests/config_sweep_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfig_sweep_invariants-f120f8698bda01d7.rmeta: crates/core/tests/config_sweep_invariants.rs Cargo.toml
+
+crates/core/tests/config_sweep_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-0ba8e179b4f25abc.d: crates/iostack/tests/corruption.rs
+
+/root/repo/target/debug/deps/corruption-0ba8e179b4f25abc: crates/iostack/tests/corruption.rs
+
+crates/iostack/tests/corruption.rs:

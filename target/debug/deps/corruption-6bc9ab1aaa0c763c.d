@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corruption-6bc9ab1aaa0c763c.d: crates/iostack/tests/corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorruption-6bc9ab1aaa0c763c.rmeta: crates/iostack/tests/corruption.rs Cargo.toml
+
+crates/iostack/tests/corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule_scenarios-12c2f3eaef3b549f.d: crates/core/tests/coschedule_scenarios.rs
+
+/root/repo/target/debug/deps/coschedule_scenarios-12c2f3eaef3b549f: crates/core/tests/coschedule_scenarios.rs
+
+crates/core/tests/coschedule_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coschedule_scenarios-2a42688e1c7f2e43.d: crates/core/tests/coschedule_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoschedule_scenarios-2a42688e1c7f2e43.rmeta: crates/core/tests/coschedule_scenarios.rs Cargo.toml
+
+crates/core/tests/coschedule_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

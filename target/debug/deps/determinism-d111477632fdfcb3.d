@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d111477632fdfcb3.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d111477632fdfcb3: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/devicebench-531cc93f5cfa7a32.d: crates/bench/src/bin/devicebench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevicebench-531cc93f5cfa7a32.rmeta: crates/bench/src/bin/devicebench.rs Cargo.toml
+
+crates/bench/src/bin/devicebench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/devicebench-7d513600627a8b04.d: crates/bench/src/bin/devicebench.rs
+
+/root/repo/target/debug/deps/devicebench-7d513600627a8b04: crates/bench/src/bin/devicebench.rs
+
+crates/bench/src/bin/devicebench.rs:

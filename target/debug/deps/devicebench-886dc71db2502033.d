@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/devicebench-886dc71db2502033.d: crates/bench/src/bin/devicebench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevicebench-886dc71db2502033.rmeta: crates/bench/src/bin/devicebench.rs Cargo.toml
+
+crates/bench/src/bin/devicebench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

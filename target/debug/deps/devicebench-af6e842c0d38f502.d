@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/devicebench-af6e842c0d38f502.d: crates/bench/src/bin/devicebench.rs
+
+/root/repo/target/debug/deps/devicebench-af6e842c0d38f502: crates/bench/src/bin/devicebench.rs
+
+crates/bench/src/bin/devicebench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ae2faaa40b397daf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ae2faaa40b397daf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

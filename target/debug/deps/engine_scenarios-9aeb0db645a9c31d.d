@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_scenarios-9aeb0db645a9c31d.d: crates/des/tests/engine_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_scenarios-9aeb0db645a9c31d.rmeta: crates/des/tests/engine_scenarios.rs Cargo.toml
+
+crates/des/tests/engine_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_scenarios-c35485d8a6633a2a.d: crates/des/tests/engine_scenarios.rs
+
+/root/repo/target/debug/deps/engine_scenarios-c35485d8a6633a2a: crates/des/tests/engine_scenarios.rs
+
+crates/des/tests/engine_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_behavior-89f8e5c2119b8a1b.d: crates/core/tests/executor_behavior.rs
+
+/root/repo/target/debug/deps/executor_behavior-89f8e5c2119b8a1b: crates/core/tests/executor_behavior.rs
+
+crates/core/tests/executor_behavior.rs:

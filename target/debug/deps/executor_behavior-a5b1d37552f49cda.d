@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_behavior-a5b1d37552f49cda.d: crates/core/tests/executor_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_behavior-a5b1d37552f49cda.rmeta: crates/core/tests/executor_behavior.rs Cargo.toml
+
+crates/core/tests/executor_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

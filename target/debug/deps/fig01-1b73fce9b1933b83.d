@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-1b73fce9b1933b83.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-1b73fce9b1933b83: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-491e1f123f3d645b.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-491e1f123f3d645b: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

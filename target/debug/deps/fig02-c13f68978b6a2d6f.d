@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-c13f68978b6a2d6f.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-c13f68978b6a2d6f: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

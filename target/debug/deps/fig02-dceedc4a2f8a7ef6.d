@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-dceedc4a2f8a7ef6.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-dceedc4a2f8a7ef6: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-7daae094bda96209.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-7daae094bda96209: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-ef0925357c997c01.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-ef0925357c997c01: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-260c4a77e95f7b38.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-260c4a77e95f7b38: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-703de5c19339f82a.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-703de5c19339f82a.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

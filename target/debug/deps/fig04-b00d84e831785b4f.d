@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-b00d84e831785b4f.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-b00d84e831785b4f.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-e48683e5d6e5c4fd.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-e48683e5d6e5c4fd: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-09fcbd0a521bf6d2.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-09fcbd0a521bf6d2: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-0d276f177c1f370e.d: crates/bench/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-0d276f177c1f370e.rmeta: crates/bench/src/bin/fig05.rs Cargo.toml
+
+crates/bench/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

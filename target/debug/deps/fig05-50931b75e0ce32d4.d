@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-50931b75e0ce32d4.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-50931b75e0ce32d4: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

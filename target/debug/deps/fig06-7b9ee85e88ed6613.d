@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-7b9ee85e88ed6613.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-7b9ee85e88ed6613: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-e0846b410ff3f6a5.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-e0846b410ff3f6a5: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

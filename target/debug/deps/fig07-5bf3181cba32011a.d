@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-5bf3181cba32011a.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-5bf3181cba32011a: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

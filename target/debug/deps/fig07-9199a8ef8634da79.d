@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-9199a8ef8634da79.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-9199a8ef8634da79: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

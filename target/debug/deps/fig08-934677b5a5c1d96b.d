@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-934677b5a5c1d96b.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-934677b5a5c1d96b: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

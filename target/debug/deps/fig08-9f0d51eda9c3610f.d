@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-9f0d51eda9c3610f.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-9f0d51eda9c3610f: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

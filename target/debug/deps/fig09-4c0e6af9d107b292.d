@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-4c0e6af9d107b292.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-4c0e6af9d107b292: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-e7ed5872e8e8e449.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-e7ed5872e8e8e449: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-e045f9a6f74a9c8f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-e045f9a6f74a9c8f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen2-4ba8fd292000d6c3.d: crates/bench/src/bin/gen2.rs
+
+/root/repo/target/debug/deps/gen2-4ba8fd292000d6c3: crates/bench/src/bin/gen2.rs
+
+crates/bench/src/bin/gen2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen2-66b37951f4c0db89.d: crates/bench/src/bin/gen2.rs
+
+/root/repo/target/debug/deps/gen2-66b37951f4c0db89: crates/bench/src/bin/gen2.rs
+
+crates/bench/src/bin/gen2.rs:

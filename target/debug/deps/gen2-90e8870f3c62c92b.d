@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen2-90e8870f3c62c92b.d: crates/bench/src/bin/gen2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen2-90e8870f3c62c92b.rmeta: crates/bench/src/bin/gen2.rs Cargo.toml
+
+crates/bench/src/bin/gen2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen2-b571799beac03818.d: crates/bench/src/bin/gen2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen2-b571799beac03818.rmeta: crates/bench/src/bin/gen2.rs Cargo.toml
+
+crates/bench/src/bin/gen2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

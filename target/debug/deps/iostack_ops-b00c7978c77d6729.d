@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iostack_ops-b00c7978c77d6729.d: crates/bench/benches/iostack_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiostack_ops-b00c7978c77d6729.rmeta: crates/bench/benches/iostack_ops.rs Cargo.toml
+
+crates/bench/benches/iostack_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

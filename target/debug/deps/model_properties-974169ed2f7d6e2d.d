@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-974169ed2f7d6e2d.d: crates/pmem/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-974169ed2f7d6e2d.rmeta: crates/pmem/tests/model_properties.rs Cargo.toml
+
+crates/pmem/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

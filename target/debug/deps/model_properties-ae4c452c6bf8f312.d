@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-ae4c452c6bf8f312.d: crates/pmem/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-ae4c452c6bf8f312: crates/pmem/tests/model_properties.rs
+
+crates/pmem/tests/model_properties.rs:

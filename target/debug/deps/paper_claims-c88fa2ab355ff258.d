@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c88fa2ab355ff258.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c88fa2ab355ff258: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow-2302ffab8892583b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/pmemflow-2302ffab8892583b: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

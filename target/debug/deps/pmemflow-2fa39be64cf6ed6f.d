@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmemflow-2fa39be64cf6ed6f.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmemflow-2fa39be64cf6ed6f.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmemflow-2fa39be64cf6ed6f.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmemflow-5fa7c4cc8c8a5bd5.d: src/main.rs
+
+/root/repo/target/debug/deps/pmemflow-5fa7c4cc8c8a5bd5: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmemflow-8eb4e07e7591b978.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow-8eb4e07e7591b978.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

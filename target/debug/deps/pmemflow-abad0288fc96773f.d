@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmemflow-abad0288fc96773f.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow-abad0288fc96773f.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmemflow-cdac50edcca597d2.d: src/main.rs
+
+/root/repo/target/debug/deps/pmemflow-cdac50edcca597d2: src/main.rs
+
+src/main.rs:

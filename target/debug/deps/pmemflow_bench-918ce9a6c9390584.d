@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow_bench-918ce9a6c9390584.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/pmemflow_bench-918ce9a6c9390584: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

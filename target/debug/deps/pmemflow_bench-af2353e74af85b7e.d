@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmemflow_bench-af2353e74af85b7e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpmemflow_bench-af2353e74af85b7e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpmemflow_bench-af2353e74af85b7e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

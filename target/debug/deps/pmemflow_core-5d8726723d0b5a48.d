@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pmemflow_core-5d8726723d0b5a48.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_core-5d8726723d0b5a48.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/native.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pmemflow_des-2597e73b5c328020.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_des-2597e73b5c328020.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/flow.rs:
+crates/des/src/process.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

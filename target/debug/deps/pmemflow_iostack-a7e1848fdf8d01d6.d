@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmemflow_iostack-a7e1848fdf8d01d6.d: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+/root/repo/target/debug/deps/libpmemflow_iostack-a7e1848fdf8d01d6.rlib: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+/root/repo/target/debug/deps/libpmemflow_iostack-a7e1848fdf8d01d6.rmeta: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+crates/iostack/src/lib.rs:
+crates/iostack/src/codec.rs:
+crates/iostack/src/cost.rs:
+crates/iostack/src/hash.rs:
+crates/iostack/src/nova.rs:
+crates/iostack/src/nvstream.rs:
+crates/iostack/src/store.rs:

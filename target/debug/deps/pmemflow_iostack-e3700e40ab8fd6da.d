@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pmemflow_iostack-e3700e40ab8fd6da.d: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_iostack-e3700e40ab8fd6da.rmeta: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs Cargo.toml
+
+crates/iostack/src/lib.rs:
+crates/iostack/src/codec.rs:
+crates/iostack/src/cost.rs:
+crates/iostack/src/hash.rs:
+crates/iostack/src/nova.rs:
+crates/iostack/src/nvstream.rs:
+crates/iostack/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmemflow_platform-29825f236096e317.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/debug/deps/libpmemflow_platform-29825f236096e317.rlib: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/debug/deps/libpmemflow_platform-29825f236096e317.rmeta: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pmemflow_platform-5cab87c6a9b0cd2e.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/debug/deps/pmemflow_platform-5cab87c6a9b0cd2e: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:

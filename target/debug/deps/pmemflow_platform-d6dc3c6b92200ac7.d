@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pmemflow_platform-d6dc3c6b92200ac7.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_platform-d6dc3c6b92200ac7.rmeta: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

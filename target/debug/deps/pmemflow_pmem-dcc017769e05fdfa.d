@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pmemflow_pmem-dcc017769e05fdfa.d: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_pmem-dcc017769e05fdfa.rmeta: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/allocator.rs:
+crates/pmem/src/curves.rs:
+crates/pmem/src/devicebench.rs:
+crates/pmem/src/dimmsim.rs:
+crates/pmem/src/interleave.rs:
+crates/pmem/src/profile.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/xpbuffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pmemflow_sched-00d72664a910446e.d: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+/root/repo/target/debug/deps/libpmemflow_sched-00d72664a910446e.rlib: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+/root/repo/target/debug/deps/libpmemflow_sched-00d72664a910446e.rmeta: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/adaptive.rs:
+crates/sched/src/characterize.rs:
+crates/sched/src/crossover.rs:
+crates/sched/src/model_driven.rs:
+crates/sched/src/planner.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/rules.rs:
+crates/sched/src/table2.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pmemflow_sched-b95b205d663986a0.d: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmemflow_sched-b95b205d663986a0.rmeta: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/adaptive.rs:
+crates/sched/src/characterize.rs:
+crates/sched/src/crossover.rs:
+crates/sched/src/model_driven.rs:
+crates/sched/src/planner.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/rules.rs:
+crates/sched/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmemflow_workloads-aee1ed2b85209343.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpmemflow_workloads-aee1ed2b85209343.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpmemflow_workloads-aee1ed2b85209343.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/import.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

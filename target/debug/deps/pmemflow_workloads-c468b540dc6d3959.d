@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmemflow_workloads-c468b540dc6d3959.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/pmemflow_workloads-c468b540dc6d3959: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/import.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

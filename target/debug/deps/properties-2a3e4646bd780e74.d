@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2a3e4646bd780e74.d: crates/pmem/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2a3e4646bd780e74.rmeta: crates/pmem/tests/properties.rs Cargo.toml
+
+crates/pmem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

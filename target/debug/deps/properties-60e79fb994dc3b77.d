@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60e79fb994dc3b77.d: crates/pmem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60e79fb994dc3b77: crates/pmem/tests/properties.rs
+
+crates/pmem/tests/properties.rs:

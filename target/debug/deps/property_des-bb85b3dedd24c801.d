@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_des-bb85b3dedd24c801.d: tests/property_des.rs
+
+/root/repo/target/debug/deps/property_des-bb85b3dedd24c801: tests/property_des.rs
+
+tests/property_des.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_des-fa9c0b42a4904dae.d: tests/property_des.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_des-fa9c0b42a4904dae.rmeta: tests/property_des.rs Cargo.toml
+
+tests/property_des.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

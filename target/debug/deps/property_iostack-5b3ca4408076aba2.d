@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_iostack-5b3ca4408076aba2.d: tests/property_iostack.rs
+
+/root/repo/target/debug/deps/property_iostack-5b3ca4408076aba2: tests/property_iostack.rs
+
+tests/property_iostack.rs:

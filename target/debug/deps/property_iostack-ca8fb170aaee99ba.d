@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_iostack-ca8fb170aaee99ba.d: tests/property_iostack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_iostack-ca8fb170aaee99ba.rmeta: tests/property_iostack.rs Cargo.toml
+
+tests/property_iostack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_properties-b4fd25e513053dc0.d: crates/workloads/tests/spec_properties.rs
+
+/root/repo/target/debug/deps/spec_properties-b4fd25e513053dc0: crates/workloads/tests/spec_properties.rs
+
+crates/workloads/tests/spec_properties.rs:

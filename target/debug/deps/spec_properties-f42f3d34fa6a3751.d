@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spec_properties-f42f3d34fa6a3751.d: crates/workloads/tests/spec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspec_properties-f42f3d34fa6a3751.rmeta: crates/workloads/tests/spec_properties.rs Cargo.toml
+
+crates/workloads/tests/spec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stacks-85434838cbea8748.d: crates/bench/src/bin/stacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstacks-85434838cbea8748.rmeta: crates/bench/src/bin/stacks.rs Cargo.toml
+
+crates/bench/src/bin/stacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

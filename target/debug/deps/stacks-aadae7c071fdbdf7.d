@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stacks-aadae7c071fdbdf7.d: crates/bench/src/bin/stacks.rs
+
+/root/repo/target/debug/deps/stacks-aadae7c071fdbdf7: crates/bench/src/bin/stacks.rs
+
+crates/bench/src/bin/stacks.rs:

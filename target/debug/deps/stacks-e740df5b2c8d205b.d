@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stacks-e740df5b2c8d205b.d: crates/bench/src/bin/stacks.rs
+
+/root/repo/target/debug/deps/stacks-e740df5b2c8d205b: crates/bench/src/bin/stacks.rs
+
+crates/bench/src/bin/stacks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stacks-f1e34b4a7f48d1a0.d: crates/bench/src/bin/stacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstacks-f1e34b4a7f48d1a0.rmeta: crates/bench/src/bin/stacks.rs Cargo.toml
+
+crates/bench/src/bin/stacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_runner-3a3d79dacec787cd.d: tests/suite_runner.rs
+
+/root/repo/target/debug/deps/suite_runner-3a3d79dacec787cd: tests/suite_runner.rs
+
+tests/suite_runner.rs:

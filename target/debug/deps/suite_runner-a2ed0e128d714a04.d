@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_runner-a2ed0e128d714a04.d: tests/suite_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_runner-a2ed0e128d714a04.rmeta: tests/suite_runner.rs Cargo.toml
+
+tests/suite_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_validation-300db68dfb0e66fd.d: crates/sched/tests/suite_validation.rs
+
+/root/repo/target/debug/deps/suite_validation-300db68dfb0e66fd: crates/sched/tests/suite_validation.rs
+
+crates/sched/tests/suite_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_validation-8de6f6da2c4041ec.d: crates/sched/tests/suite_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_validation-8de6f6da2c4041ec.rmeta: crates/sched/tests/suite_validation.rs Cargo.toml
+
+crates/sched/tests/suite_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

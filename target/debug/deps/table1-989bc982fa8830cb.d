@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-989bc982fa8830cb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-989bc982fa8830cb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

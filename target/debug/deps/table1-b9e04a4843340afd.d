@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b9e04a4843340afd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b9e04a4843340afd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

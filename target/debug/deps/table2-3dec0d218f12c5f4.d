@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3dec0d218f12c5f4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3dec0d218f12c5f4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

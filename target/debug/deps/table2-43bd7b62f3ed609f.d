@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-43bd7b62f3ed609f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-43bd7b62f3ed609f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_winners-5bfeeed209793951.d: tests/table2_winners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_winners-5bfeeed209793951.rmeta: tests/table2_winners.rs Cargo.toml
+
+tests/table2_winners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_winners-5c1bd9b9298d52a1.d: tests/table2_winners.rs
+
+/root/repo/target/debug/deps/table2_winners-5c1bd9b9298d52a1: tests/table2_winners.rs
+
+tests/table2_winners.rs:

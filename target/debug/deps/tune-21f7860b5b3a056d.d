@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-21f7860b5b3a056d.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/tune-21f7860b5b3a056d: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-c6e816b0fcf3af39.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/tune-c6e816b0fcf3af39: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_scheduler-1b0143cb9f2f34db.d: examples/adaptive_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_scheduler-1b0143cb9f2f34db.rmeta: examples/adaptive_scheduler.rs Cargo.toml
+
+examples/adaptive_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_scheduler-3c4c3c8af9c4d474.d: examples/adaptive_scheduler.rs
+
+/root/repo/target/debug/examples/adaptive_scheduler-3c4c3c8af9c4d474: examples/adaptive_scheduler.rs
+
+examples/adaptive_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-f1f3f241c1333a5b.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-f1f3f241c1333a5b: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

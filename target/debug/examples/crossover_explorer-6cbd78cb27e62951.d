@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossover_explorer-6cbd78cb27e62951.d: examples/crossover_explorer.rs
+
+/root/repo/target/debug/examples/crossover_explorer-6cbd78cb27e62951: examples/crossover_explorer.rs
+
+examples/crossover_explorer.rs:

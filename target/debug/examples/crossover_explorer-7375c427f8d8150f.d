@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crossover_explorer-7375c427f8d8150f.d: examples/crossover_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrossover_explorer-7375c427f8d8150f.rmeta: examples/crossover_explorer.rs Cargo.toml
+
+examples/crossover_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_campaign-36b3eb47176e97ab.d: examples/custom_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_campaign-36b3eb47176e97ab.rmeta: examples/custom_campaign.rs Cargo.toml
+
+examples/custom_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_campaign-3d03741d50a171ac.d: examples/custom_campaign.rs
+
+/root/repo/target/debug/examples/custom_campaign-3d03741d50a171ac: examples/custom_campaign.rs
+
+examples/custom_campaign.rs:

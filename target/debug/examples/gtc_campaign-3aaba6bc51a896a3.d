@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gtc_campaign-3aaba6bc51a896a3.d: examples/gtc_campaign.rs
+
+/root/repo/target/debug/examples/gtc_campaign-3aaba6bc51a896a3: examples/gtc_campaign.rs
+
+examples/gtc_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gtc_campaign-fb52eb7fbee1adef.d: examples/gtc_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgtc_campaign-fb52eb7fbee1adef.rmeta: examples/gtc_campaign.rs Cargo.toml
+
+examples/gtc_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

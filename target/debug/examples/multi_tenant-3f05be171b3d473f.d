@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-3f05be171b3d473f.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-3f05be171b3d473f: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/native_pipeline-4bca045d71624ec5.d: examples/native_pipeline.rs
+
+/root/repo/target/debug/examples/native_pipeline-4bca045d71624ec5: examples/native_pipeline.rs
+
+examples/native_pipeline.rs:

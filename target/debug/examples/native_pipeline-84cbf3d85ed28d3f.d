@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/native_pipeline-84cbf3d85ed28d3f.d: examples/native_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnative_pipeline-84cbf3d85ed28d3f.rmeta: examples/native_pipeline.rs Cargo.toml
+
+examples/native_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-be6e0c92021fe893.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-be6e0c92021fe893: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeline_gantt-4f3176546b2a7450.d: examples/timeline_gantt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline_gantt-4f3176546b2a7450.rmeta: examples/timeline_gantt.rs Cargo.toml
+
+examples/timeline_gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

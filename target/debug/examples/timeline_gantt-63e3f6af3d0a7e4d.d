@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline_gantt-63e3f6af3d0a7e4d.d: examples/timeline_gantt.rs
+
+/root/repo/target/debug/examples/timeline_gantt-63e3f6af3d0a7e4d: examples/timeline_gantt.rs
+
+examples/timeline_gantt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pmemflow-db651bb8a3ada0a1.d: src/main.rs
+
+/root/repo/target/release/deps/pmemflow-db651bb8a3ada0a1: src/main.rs
+
+src/main.rs:

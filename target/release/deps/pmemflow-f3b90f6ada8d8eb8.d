@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pmemflow-f3b90f6ada8d8eb8.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libpmemflow-f3b90f6ada8d8eb8.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libpmemflow-f3b90f6ada8d8eb8.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

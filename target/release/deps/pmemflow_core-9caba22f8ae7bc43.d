@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pmemflow_core-9caba22f8ae7bc43.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libpmemflow_core-9caba22f8ae7bc43.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libpmemflow_core-9caba22f8ae7bc43.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/native.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pmemflow_des-4f9b0e89207b98ca.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libpmemflow_des-4f9b0e89207b98ca.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libpmemflow_des-4f9b0e89207b98ca.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/flow.rs:
+crates/des/src/process.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pmemflow_iostack-73b5f46281e94cd7.d: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+/root/repo/target/release/deps/libpmemflow_iostack-73b5f46281e94cd7.rlib: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+/root/repo/target/release/deps/libpmemflow_iostack-73b5f46281e94cd7.rmeta: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+crates/iostack/src/lib.rs:
+crates/iostack/src/codec.rs:
+crates/iostack/src/cost.rs:
+crates/iostack/src/hash.rs:
+crates/iostack/src/nova.rs:
+crates/iostack/src/nvstream.rs:
+crates/iostack/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pmemflow_platform-5884a20f2f9a61ce.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/release/deps/libpmemflow_platform-5884a20f2f9a61ce.rlib: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/release/deps/libpmemflow_platform-5884a20f2f9a61ce.rmeta: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pmemflow_pmem-3014062437d0012b.d: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs
+
+/root/repo/target/release/deps/libpmemflow_pmem-3014062437d0012b.rlib: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs
+
+/root/repo/target/release/deps/libpmemflow_pmem-3014062437d0012b.rmeta: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/allocator.rs:
+crates/pmem/src/curves.rs:
+crates/pmem/src/devicebench.rs:
+crates/pmem/src/dimmsim.rs:
+crates/pmem/src/interleave.rs:
+crates/pmem/src/profile.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/xpbuffer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pmemflow_sched-ab2b81b4d4ad608d.d: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+/root/repo/target/release/deps/libpmemflow_sched-ab2b81b4d4ad608d.rlib: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+/root/repo/target/release/deps/libpmemflow_sched-ab2b81b4d4ad608d.rmeta: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/adaptive.rs:
+crates/sched/src/characterize.rs:
+crates/sched/src/crossover.rs:
+crates/sched/src/model_driven.rs:
+crates/sched/src/planner.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/rules.rs:
+crates/sched/src/table2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pmemflow_workloads-6c4e8e41bffeed7f.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpmemflow_workloads-6c4e8e41bffeed7f.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libpmemflow_workloads-6c4e8e41bffeed7f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/import.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

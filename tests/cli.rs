@@ -18,7 +18,14 @@ fn run(args: &[&str]) -> (bool, String, String) {
 fn help_lists_commands() {
     let (ok, stdout, _) = run(&["help"]);
     assert!(ok);
-    for cmd in ["sweep", "characterize", "recommend", "plan", "suite", "devicebench"] {
+    for cmd in [
+        "sweep",
+        "characterize",
+        "recommend",
+        "plan",
+        "suite",
+        "devicebench",
+    ] {
         assert!(stdout.contains(cmd), "help missing {cmd}");
     }
 }
@@ -44,7 +51,13 @@ fn recommend_cites_rules_and_oracle() {
 
 #[test]
 fn characterize_reports_profile() {
-    let (ok, stdout, _) = run(&["characterize", "--workload", "miniamr-readonly", "--ranks", "8"]);
+    let (ok, stdout, _) = run(&[
+        "characterize",
+        "--workload",
+        "miniamr-readonly",
+        "--ranks",
+        "8",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("I/O index"));
     assert!(stdout.contains("write saturation"));
@@ -87,6 +100,17 @@ fn gantt_renders() {
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("legend"));
+}
+
+#[test]
+fn suite_rejects_zero_jobs() {
+    // Errors out before any simulation starts, so this stays fast.
+    let (ok, _, stderr) = run(&["suite", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--jobs") && stderr.contains("positive"),
+        "{stderr}"
+    );
 }
 
 #[test]

@@ -15,9 +15,16 @@ fn device_headlines_match_section_2b() {
     let profile = DeviceProfile::optane_gen1();
     assert!((profile.local_read_bw.peak() - 39.4 * GB).abs() < 0.05 * GB);
     assert!((profile.local_write_bw.peak() - 13.9 * GB).abs() < 0.05 * GB);
-    assert_eq!(profile.local_write_bw.peak_x(), 4.0, "write saturates at 4 threads");
+    assert_eq!(
+        profile.local_write_bw.peak_x(),
+        4.0,
+        "write saturates at 4 threads"
+    );
     let h = headline_ratios(&profile);
-    assert!(h.write_drop_at_24 > 12.0 && h.write_drop_at_24 < 18.0, "~15x");
+    assert!(
+        h.write_drop_at_24 > 12.0 && h.write_drop_at_24 < 18.0,
+        "~15x"
+    );
     assert!((h.read_drop_at_24 - 1.3).abs() < 0.05, "1.3x");
     assert_eq!(h.write_latency, 90e-9);
     assert_eq!(h.read_latency, 169e-9);

@@ -1,13 +1,14 @@
-//! Property-based tests of the fluid engine and the Optane allocator:
-//! conservation, monotonicity, and bounds that must hold for every
-//! workload shape.
+//! Randomized-but-deterministic tests of the fluid engine and the Optane
+//! allocator: conservation, monotonicity, and bounds that must hold for
+//! every workload shape. Each test sweeps a seeded sample of the input
+//! space (fixed seed, so failures are exactly reproducible).
 
+use pmemflow::des::rng::SplitMix64;
 use pmemflow::des::{
     Action, Direction, FairShareAllocator, FlowAttrs, Locality, RateAllocator, ScriptProcess,
     SimDuration, Simulation,
 };
 use pmemflow::pmem::{DeviceProfile, OptaneAllocator};
-use proptest::prelude::*;
 
 fn attrs(dir: Direction, loc: Locality, access: u64, sw_tpb: f64) -> FlowAttrs {
     let p = DeviceProfile::optane_gen1();
@@ -20,49 +21,63 @@ fn attrs(dir: Direction, loc: Locality, access: u64, sw_tpb: f64) -> FlowAttrs {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Bytes in == bytes out: the resource report accounts exactly the
-    /// bytes submitted, for arbitrary flow populations.
-    #[test]
-    fn engine_conserves_bytes(
-        n_flows in 1usize..12,
-        kb in 1u64..4096,
-        compute_ms in 0u64..50,
-    ) {
+/// Bytes in == bytes out: the resource report accounts exactly the bytes
+/// submitted, for arbitrary flow populations.
+#[test]
+fn engine_conserves_bytes() {
+    let mut rng = SplitMix64::new(0xde5_0001);
+    for _case in 0..64 {
+        let n_flows = rng.range_usize(1, 12);
+        let kb = rng.range_u64(1, 4096);
+        let compute_ms = rng.range_u64(0, 50);
         let mut sim = Simulation::new();
         let r = sim.add_resource(Box::new(OptaneAllocator::new(DeviceProfile::optane_gen1())));
         let bytes = (kb * 1024) as f64;
         for i in 0..n_flows {
-            let dir = if i % 2 == 0 { Direction::Write } else { Direction::Read };
-            let loc = if i % 3 == 0 { Locality::Remote } else { Locality::Local };
+            let dir = if i % 2 == 0 {
+                Direction::Write
+            } else {
+                Direction::Read
+            };
+            let loc = if i % 3 == 0 {
+                Locality::Remote
+            } else {
+                Locality::Local
+            };
             sim.spawn(Box::new(ScriptProcess::new(
                 format!("p{i}"),
                 vec![
                     Action::Compute(SimDuration::from_secs(compute_ms as f64 * 1e-3 * i as f64)),
-                    Action::Io { resource: r, bytes, attrs: attrs(dir, loc, 4096, 1e-10) },
+                    Action::Io {
+                        resource: r,
+                        bytes,
+                        attrs: attrs(dir, loc, 4096, 1e-10),
+                    },
                 ],
             )));
         }
         let rep = sim.run().unwrap();
         let total = rep.resources[0].total_bytes();
         let expect = bytes * n_flows as f64;
-        prop_assert!((total - expect).abs() / expect < 1e-6,
-            "accounted {total} vs submitted {expect}");
+        assert!(
+            (total - expect).abs() / expect < 1e-6,
+            "accounted {total} vs submitted {expect}"
+        );
         // Per-process accounting too.
         for p in &rep.processes {
-            prop_assert!((p.io_bytes - bytes).abs() / bytes < 1e-6);
+            assert!((p.io_bytes - bytes).abs() / bytes < 1e-6);
         }
     }
+}
 
-    /// More capacity never slows anything down (fair-share model).
-    #[test]
-    fn more_capacity_is_never_slower(
-        n_flows in 1usize..10,
-        mb in 1u64..64,
-        cap_gb in 1u64..10,
-    ) {
+/// More capacity never slows anything down (fair-share model).
+#[test]
+fn more_capacity_is_never_slower() {
+    let mut rng = SplitMix64::new(0xde5_0002);
+    for _case in 0..64 {
+        let n_flows = rng.range_usize(1, 10);
+        let mb = rng.range_u64(1, 64);
+        let cap_gb = rng.range_u64(1, 10);
         let run = |capacity: f64| {
             let mut sim = Simulation::new();
             let r = sim.add_resource(Box::new(FairShareAllocator::new(capacity)));
@@ -80,19 +95,25 @@ proptest! {
         };
         let slow = run(cap_gb as f64 * 1e9);
         let fast = run(cap_gb as f64 * 2e9);
-        prop_assert!(fast <= slow * (1.0 + 1e-9), "fast {fast} > slow {slow}");
+        assert!(fast <= slow * (1.0 + 1e-9), "fast {fast} > slow {slow}");
     }
+}
 
-    /// The Optane allocator's rates are always positive, never exceed the
-    /// intrinsic rate, and the aggregate never exceeds the best class peak.
-    #[test]
-    fn allocator_rates_are_bounded(
-        n_w in 0usize..24,
-        n_r in 0usize..24,
-        small in proptest::bool::ANY,
-        sw_ns_per_kb in 0u64..4000,
-    ) {
-        prop_assume!(n_w + n_r > 0);
+/// The Optane allocator's rates are always positive, never exceed the
+/// intrinsic rate, and the aggregate never exceeds the best class peak.
+#[test]
+fn allocator_rates_are_bounded() {
+    let mut rng = SplitMix64::new(0xde5_0003);
+    let mut cases = 0;
+    while cases < 64 {
+        let n_w = rng.range_usize(0, 24);
+        let n_r = rng.range_usize(0, 24);
+        if n_w + n_r == 0 {
+            continue;
+        }
+        cases += 1;
+        let small = rng.next_bool();
+        let sw_ns_per_kb = rng.range_u64(0, 4000);
         let access = if small { 2048 } else { 64 << 20 };
         let sw_tpb = sw_ns_per_kb as f64 * 1e-9 / 1024.0;
         let mut flows = Vec::new();
@@ -110,24 +131,26 @@ proptest! {
         }
         let alloc = OptaneAllocator::new(DeviceProfile::optane_gen1());
         let rates = alloc.allocate(&flows);
-        prop_assert_eq!(rates.len(), flows.len());
+        assert_eq!(rates.len(), flows.len());
         let mut agg = 0.0;
         for (rate, flow) in rates.iter().zip(flows.iter()) {
-            prop_assert!(*rate > 0.0);
-            prop_assert!(*rate <= flow.attrs.intrinsic_rate() * (1.0 + 1e-9));
+            assert!(*rate > 0.0);
+            assert!(*rate <= flow.attrs.intrinsic_rate() * (1.0 + 1e-9));
             agg += rate;
         }
         // Aggregate cannot beat the local read peak (the fastest class).
-        prop_assert!(agg <= 39.4e9 * 1.01, "aggregate {agg}");
+        assert!(agg <= 39.4e9 * 1.01, "aggregate {agg}");
     }
+}
 
-    /// Engine determinism for arbitrary populations: two identical runs
-    /// give bit-identical end times.
-    #[test]
-    fn engine_is_deterministic(
-        n_flows in 1usize..8,
-        kb in 1u64..2048,
-    ) {
+/// Engine determinism for arbitrary populations: two identical runs give
+/// bit-identical end times.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = SplitMix64::new(0xde5_0004);
+    for _case in 0..64 {
+        let n_flows = rng.range_usize(1, 8);
+        let kb = rng.range_u64(1, 2048);
         let build = || {
             let mut sim = Simulation::new();
             let r = sim.add_resource(Box::new(OptaneAllocator::new(DeviceProfile::optane_gen1())));
@@ -143,6 +166,6 @@ proptest! {
             }
             sim.run().unwrap().end_time.seconds()
         };
-        prop_assert_eq!(build().to_bits(), build().to_bits());
+        assert_eq!(build().to_bits(), build().to_bits());
     }
 }

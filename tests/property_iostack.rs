@@ -1,13 +1,15 @@
-//! Property-based tests of the I/O stacks against a reference model.
+//! Randomized-but-deterministic tests of the I/O stacks against a
+//! reference model.
 //!
 //! Both stores must behave like an in-memory map from (stream, version) to
 //! payload, under arbitrary operation sequences, and must preserve every
 //! committed version across crash/recover cycles regardless of where the
-//! in-flight operation was cut.
+//! in-flight operation was cut. Operation sequences come from a seeded
+//! generator, so every failure is exactly reproducible.
 
+use pmemflow::des::rng::SplitMix64;
 use pmemflow::iostack::{CrashPoint, NovaFs, NvStore, ObjectStore, StoreError};
 use pmemflow::pmem::{InterleaveGeometry, PmemRegion};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn region(len: usize) -> PmemRegion {
@@ -27,13 +29,24 @@ enum Op {
     CrashRecover,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4, proptest::collection::vec(any::<u8>(), 1..600))
-            .prop_map(|(stream, data)| Op::Put { stream, data }),
-        (0u8..4, 0u64..8).prop_map(|(stream, version)| Op::Get { stream, version }),
-        Just(Op::CrashRecover),
-    ]
+fn random_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let n = rng.range_usize(1, 40);
+    (0..n)
+        .map(|_| match rng.range_u64(0, 3) {
+            0 => {
+                let len = rng.range_usize(1, 600);
+                Op::Put {
+                    stream: rng.range_u64(0, 4) as u8,
+                    data: rng.bytes(len),
+                }
+            }
+            1 => Op::Get {
+                stream: rng.range_u64(0, 4) as u8,
+                version: rng.range_u64(0, 8),
+            },
+            _ => Op::CrashRecover,
+        })
+        .collect()
 }
 
 /// Drive a store and the reference model through the same ops; every
@@ -83,11 +96,11 @@ where
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn nvstream_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn nvstream_matches_reference_model() {
+    let mut rng = SplitMix64::new(0x105_0001);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng);
         let store = NvStore::format(region(1 << 20)).unwrap();
         check_against_reference(ops, store, |s: NvStore| {
             let mut r = s.into_region();
@@ -95,9 +108,13 @@ proptest! {
             NvStore::recover(r).expect("recovery must succeed")
         });
     }
+}
 
-    #[test]
-    fn nova_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn nova_matches_reference_model() {
+    let mut rng = SplitMix64::new(0x105_0002);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng);
         let store = NovaFs::format(region(1 << 20), 8, 64 * 1024).unwrap();
         check_against_reference(ops, store, |s: NovaFs| {
             let mut r = s.into_region();
@@ -105,16 +122,22 @@ proptest! {
             NovaFs::recover(r).expect("recovery must succeed")
         });
     }
+}
 
-    /// Crashing at any protocol point never corrupts the committed prefix
-    /// and never exposes the in-flight version.
-    #[test]
-    fn nvstream_crash_points_preserve_prefix(
-        committed in 1u64..6,
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
-        crash_idx in 0usize..3,
-    ) {
-        let crash = [CrashPoint::AfterDataWrite, CrashPoint::AfterDataPersist, CrashPoint::AfterLogRecord][crash_idx];
+/// Crashing at any protocol point never corrupts the committed prefix and
+/// never exposes the in-flight version.
+#[test]
+fn nvstream_crash_points_preserve_prefix() {
+    let mut rng = SplitMix64::new(0x105_0003);
+    for _case in 0..48 {
+        let committed = rng.range_u64(1, 6);
+        let len = rng.range_usize(1, 2000);
+        let data = rng.bytes(len);
+        let crash = [
+            CrashPoint::AfterDataWrite,
+            CrashPoint::AfterDataPersist,
+            CrashPoint::AfterLogRecord,
+        ][rng.range_usize(0, 3)];
         let mut s = NvStore::format(region(1 << 20)).unwrap();
         for v in 1..=committed {
             s.put("s", v, &data).unwrap();
@@ -123,19 +146,25 @@ proptest! {
         let mut r = s.into_region();
         r.crash();
         let mut s2 = NvStore::recover(r).expect("consistent after crash");
-        prop_assert_eq!(s2.versions("s"), (1..=committed).collect::<Vec<_>>());
+        assert_eq!(s2.versions("s"), (1..=committed).collect::<Vec<_>>());
         for v in 1..=committed {
-            prop_assert_eq!(s2.get("s", v).unwrap(), data.clone());
+            assert_eq!(s2.get("s", v).unwrap(), data.clone());
         }
     }
+}
 
-    #[test]
-    fn nova_crash_points_preserve_prefix(
-        committed in 1u64..6,
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
-        crash_idx in 0usize..3,
-    ) {
-        let crash = [CrashPoint::AfterDataWrite, CrashPoint::AfterDataPersist, CrashPoint::AfterLogRecord][crash_idx];
+#[test]
+fn nova_crash_points_preserve_prefix() {
+    let mut rng = SplitMix64::new(0x105_0004);
+    for _case in 0..48 {
+        let committed = rng.range_u64(1, 6);
+        let len = rng.range_usize(1, 2000);
+        let data = rng.bytes(len);
+        let crash = [
+            CrashPoint::AfterDataWrite,
+            CrashPoint::AfterDataPersist,
+            CrashPoint::AfterLogRecord,
+        ][rng.range_usize(0, 3)];
         let mut s = NovaFs::format(region(1 << 20), 8, 64 * 1024).unwrap();
         for v in 1..=committed {
             s.put("s", v, &data).unwrap();
@@ -144,9 +173,9 @@ proptest! {
         let mut r = s.into_region();
         r.crash();
         let mut s2 = NovaFs::recover(r).expect("consistent after crash");
-        prop_assert_eq!(s2.versions("s"), (1..=committed).collect::<Vec<_>>());
+        assert_eq!(s2.versions("s"), (1..=committed).collect::<Vec<_>>());
         for v in 1..=committed {
-            prop_assert_eq!(s2.get("s", v).unwrap(), data.clone());
+            assert_eq!(s2.get("s", v).unwrap(), data.clone());
         }
     }
 }

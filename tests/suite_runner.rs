@@ -1,0 +1,91 @@
+//! Integration test of the parallel suite runner through the `pmemflow`
+//! facade: fanning a sub-matrix over worker threads must produce JSONL
+//! output byte-identical to a sequential run, except for wall-clock time.
+
+use pmemflow::iostack::StackKind;
+use pmemflow::workloads::{micro_2kb, micro_64mb};
+use pmemflow::{run_matrix, ExecutionParams, RunRequest, SchedConfig};
+
+/// A 16-run sub-matrix: 2 workloads x 4 configurations x 2 stacks.
+fn sub_matrix() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for stack in [StackKind::NvStream, StackKind::Nova] {
+        for (name, spec) in [("micro-2KB", micro_2kb(4)), ("micro-64MB", micro_64mb(4))] {
+            for config in SchedConfig::ALL {
+                reqs.push(RunRequest {
+                    workflow: name.to_string(),
+                    ranks: 4,
+                    stack,
+                    config,
+                    spec: spec.clone(),
+                });
+            }
+        }
+    }
+    reqs
+}
+
+#[test]
+fn parallel_jsonl_is_byte_identical_to_sequential() {
+    let params = ExecutionParams::default();
+    let sequential = run_matrix(sub_matrix(), &params, 1);
+    let parallel = run_matrix(sub_matrix(), &params, 4);
+    assert_eq!(sequential.len(), 16);
+    assert_eq!(parallel.len(), 16);
+
+    let lines = |outcomes: &[pmemflow::RunOutcome]| {
+        outcomes
+            .iter()
+            .map(|o| o.deterministic_jsonl())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    // Byte-identical modulo the wall-clock field, which deterministic_jsonl
+    // zeroes on both sides.
+    assert_eq!(lines(&sequential), lines(&parallel));
+
+    for (s, p) in sequential.iter().zip(parallel.iter()) {
+        let (ms, mp) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert_eq!(
+            ms.total.to_bits(),
+            mp.total.to_bits(),
+            "{} {}",
+            s.workflow,
+            s.config
+        );
+        assert_eq!(ms.events, mp.events);
+        assert_eq!(ms.max_heap_depth, mp.max_heap_depth);
+    }
+}
+
+#[test]
+fn jsonl_records_carry_the_documented_schema() {
+    let params = ExecutionParams::default();
+    let outcomes = run_matrix(sub_matrix()[..4].to_vec(), &params, 2);
+    for o in &outcomes {
+        let line = o.to_jsonl();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'));
+        for key in [
+            "\"workflow\":",
+            "\"ranks\":",
+            "\"stack\":",
+            "\"config\":",
+            "\"ok\":true",
+            "\"total_s\":",
+            "\"serial_split\":",
+            "\"writer\":",
+            "\"reader\":",
+            "\"compute_s\":",
+            "\"io_s\":",
+            "\"wait_s\":",
+            "\"channel_waits\":",
+            "\"device\":",
+            "\"events\":",
+            "\"max_heap_depth\":",
+            "\"wall_secs\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+}
