@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1f42b407d67cf289.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-1f42b407d67cf289.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

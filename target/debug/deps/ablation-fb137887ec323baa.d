@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-fb137887ec323baa.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-fb137887ec323baa.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

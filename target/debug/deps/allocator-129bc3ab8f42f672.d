@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator-129bc3ab8f42f672.d: crates/bench/benches/allocator.rs
+
+/root/repo/target/debug/deps/liballocator-129bc3ab8f42f672.rmeta: crates/bench/benches/allocator.rs
+
+crates/bench/benches/allocator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_contract-e9b9cd4ebe3c664a.d: crates/des/tests/allocator_contract.rs
+
+/root/repo/target/debug/deps/liballocator_contract-e9b9cd4ebe3c664a.rmeta: crates/des/tests/allocator_contract.rs
+
+crates/des/tests/allocator_contract.rs:

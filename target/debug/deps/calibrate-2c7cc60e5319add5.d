@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-2c7cc60e5319add5.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-2c7cc60e5319add5.rmeta: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-5cb3949eb8a5bff7.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-5cb3949eb8a5bff7.rmeta: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-27b3b646d7c65e7b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-27b3b646d7c65e7b.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pmemflow=placeholder:pmemflow

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_sweep_invariants-4789f6b4e7226eb5.d: crates/core/tests/config_sweep_invariants.rs
+
+/root/repo/target/debug/deps/libconfig_sweep_invariants-4789f6b4e7226eb5.rmeta: crates/core/tests/config_sweep_invariants.rs
+
+crates/core/tests/config_sweep_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-d5116c61010f0a9e.d: crates/iostack/tests/corruption.rs
+
+/root/repo/target/debug/deps/libcorruption-d5116c61010f0a9e.rmeta: crates/iostack/tests/corruption.rs
+
+crates/iostack/tests/corruption.rs:

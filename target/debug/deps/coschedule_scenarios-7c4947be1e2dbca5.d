@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule_scenarios-7c4947be1e2dbca5.d: crates/core/tests/coschedule_scenarios.rs
+
+/root/repo/target/debug/deps/libcoschedule_scenarios-7c4947be1e2dbca5.rmeta: crates/core/tests/coschedule_scenarios.rs
+
+crates/core/tests/coschedule_scenarios.rs:

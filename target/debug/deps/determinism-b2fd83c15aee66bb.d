@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b2fd83c15aee66bb.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-b2fd83c15aee66bb.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/devicebench-c18c229a57c27906.d: crates/bench/src/bin/devicebench.rs
+
+/root/repo/target/debug/deps/libdevicebench-c18c229a57c27906.rmeta: crates/bench/src/bin/devicebench.rs
+
+crates/bench/src/bin/devicebench.rs:

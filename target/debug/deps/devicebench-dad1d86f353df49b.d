@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/devicebench-dad1d86f353df49b.d: crates/bench/src/bin/devicebench.rs
+
+/root/repo/target/debug/deps/libdevicebench-dad1d86f353df49b.rmeta: crates/bench/src/bin/devicebench.rs
+
+crates/bench/src/bin/devicebench.rs:

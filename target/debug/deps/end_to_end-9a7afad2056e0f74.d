@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9a7afad2056e0f74.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-9a7afad2056e0f74.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-674db274bb0c9e42.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-674db274bb0c9e42.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_scenarios-ff01decdad041b6f.d: crates/des/tests/engine_scenarios.rs
+
+/root/repo/target/debug/deps/libengine_scenarios-ff01decdad041b6f.rmeta: crates/des/tests/engine_scenarios.rs
+
+crates/des/tests/engine_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_behavior-a077b69aa7f9fe32.d: crates/core/tests/executor_behavior.rs
+
+/root/repo/target/debug/deps/libexecutor_behavior-a077b69aa7f9fe32.rmeta: crates/core/tests/executor_behavior.rs
+
+crates/core/tests/executor_behavior.rs:

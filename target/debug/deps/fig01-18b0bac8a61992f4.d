@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-18b0bac8a61992f4.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-18b0bac8a61992f4.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

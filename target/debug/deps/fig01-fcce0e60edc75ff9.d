@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-fcce0e60edc75ff9.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/libfig01-fcce0e60edc75ff9.rmeta: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-1ffeaadf40f9c56f.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-1ffeaadf40f9c56f.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

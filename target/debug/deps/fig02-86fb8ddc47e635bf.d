@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-86fb8ddc47e635bf.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/libfig02-86fb8ddc47e635bf.rmeta: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-27ca575fff0471ba.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/libfig03-27ca575fff0471ba.rmeta: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

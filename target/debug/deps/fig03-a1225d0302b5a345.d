@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-a1225d0302b5a345.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/libfig03-a1225d0302b5a345.rmeta: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-52d5764547d21d1d.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-52d5764547d21d1d.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

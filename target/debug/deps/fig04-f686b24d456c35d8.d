@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-f686b24d456c35d8.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/libfig04-f686b24d456c35d8.rmeta: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

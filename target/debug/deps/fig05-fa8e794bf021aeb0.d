@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-fa8e794bf021aeb0.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-fa8e794bf021aeb0.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-fdee6533f5d01477.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/libfig05-fdee6533f5d01477.rmeta: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

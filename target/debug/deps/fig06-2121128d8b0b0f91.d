@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-2121128d8b0b0f91.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-2121128d8b0b0f91.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-e32ffbd3e414cb55.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/libfig06-e32ffbd3e414cb55.rmeta: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

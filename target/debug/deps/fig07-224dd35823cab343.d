@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-224dd35823cab343.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-224dd35823cab343.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

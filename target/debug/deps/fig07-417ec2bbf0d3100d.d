@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-417ec2bbf0d3100d.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/libfig07-417ec2bbf0d3100d.rmeta: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-3a1b7a1dd80ffee2.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/libfig08-3a1b7a1dd80ffee2.rmeta: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-e9b666ea70e9be15.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/libfig08-e9b666ea70e9be15.rmeta: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-64ea35dc886f1805.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/libfig09-64ea35dc886f1805.rmeta: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

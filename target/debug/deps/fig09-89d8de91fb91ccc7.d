@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-89d8de91fb91ccc7.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/libfig09-89d8de91fb91ccc7.rmeta: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

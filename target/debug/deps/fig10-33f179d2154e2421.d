@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-33f179d2154e2421.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-33f179d2154e2421.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

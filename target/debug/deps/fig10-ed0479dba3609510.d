@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ed0479dba3609510.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-ed0479dba3609510.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

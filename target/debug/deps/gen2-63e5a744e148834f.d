@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen2-63e5a744e148834f.d: crates/bench/src/bin/gen2.rs
+
+/root/repo/target/debug/deps/libgen2-63e5a744e148834f.rmeta: crates/bench/src/bin/gen2.rs
+
+crates/bench/src/bin/gen2.rs:

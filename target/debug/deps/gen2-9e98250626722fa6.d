@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen2-9e98250626722fa6.d: crates/bench/src/bin/gen2.rs
+
+/root/repo/target/debug/deps/libgen2-9e98250626722fa6.rmeta: crates/bench/src/bin/gen2.rs
+
+crates/bench/src/bin/gen2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iostack_ops-be55dade1046e80b.d: crates/bench/benches/iostack_ops.rs
+
+/root/repo/target/debug/deps/libiostack_ops-be55dade1046e80b.rmeta: crates/bench/benches/iostack_ops.rs
+
+crates/bench/benches/iostack_ops.rs:

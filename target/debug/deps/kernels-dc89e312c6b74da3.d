@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-dc89e312c6b74da3.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-dc89e312c6b74da3.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

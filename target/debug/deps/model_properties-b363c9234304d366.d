@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-b363c9234304d366.d: crates/pmem/tests/model_properties.rs
+
+/root/repo/target/debug/deps/libmodel_properties-b363c9234304d366.rmeta: crates/pmem/tests/model_properties.rs
+
+crates/pmem/tests/model_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d15f8a0e1a2ebc6c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-d15f8a0e1a2ebc6c.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow-288d0c0b8bc199f5.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmemflow-288d0c0b8bc199f5.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

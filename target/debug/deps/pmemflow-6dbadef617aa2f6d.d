@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmemflow-6dbadef617aa2f6d.d: src/main.rs
+
+/root/repo/target/debug/deps/libpmemflow-6dbadef617aa2f6d.rmeta: src/main.rs
+
+src/main.rs:

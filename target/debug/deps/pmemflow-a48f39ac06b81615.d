@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmemflow-a48f39ac06b81615.d: src/main.rs
+
+/root/repo/target/debug/deps/libpmemflow-a48f39ac06b81615.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow-c19de49da3342567.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmemflow-c19de49da3342567.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

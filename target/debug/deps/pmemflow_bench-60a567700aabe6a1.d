@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow_bench-60a567700aabe6a1.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpmemflow_bench-60a567700aabe6a1.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

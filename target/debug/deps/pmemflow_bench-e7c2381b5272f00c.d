@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmemflow_bench-e7c2381b5272f00c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libpmemflow_bench-e7c2381b5272f00c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmemflow_core-1b11e40e1580e095.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libpmemflow_core-1b11e40e1580e095.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coschedule.rs crates/core/src/executor.rs crates/core/src/metrics.rs crates/core/src/native.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/executor.rs:
+crates/core/src/metrics.rs:
+crates/core/src/native.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmemflow_des-2a798682f29a3282.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libpmemflow_des-2a798682f29a3282.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/flow.rs:
+crates/des/src/process.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmemflow_des-9882a62cae9bf6cf.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libpmemflow_des-9882a62cae9bf6cf.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/flow.rs crates/des/src/process.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/flow.rs:
+crates/des/src/process.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:
+crates/des/src/trace.rs:

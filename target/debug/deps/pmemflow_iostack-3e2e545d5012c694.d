@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pmemflow_iostack-3e2e545d5012c694.d: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+/root/repo/target/debug/deps/libpmemflow_iostack-3e2e545d5012c694.rmeta: crates/iostack/src/lib.rs crates/iostack/src/codec.rs crates/iostack/src/cost.rs crates/iostack/src/hash.rs crates/iostack/src/nova.rs crates/iostack/src/nvstream.rs crates/iostack/src/store.rs
+
+crates/iostack/src/lib.rs:
+crates/iostack/src/codec.rs:
+crates/iostack/src/cost.rs:
+crates/iostack/src/hash.rs:
+crates/iostack/src/nova.rs:
+crates/iostack/src/nvstream.rs:
+crates/iostack/src/store.rs:

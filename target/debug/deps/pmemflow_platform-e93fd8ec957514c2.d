@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pmemflow_platform-e93fd8ec957514c2.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/debug/deps/libpmemflow_platform-e93fd8ec957514c2.rmeta: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pmemflow_platform-f0a45485e70d66fb.d: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+/root/repo/target/debug/deps/libpmemflow_platform-f0a45485e70d66fb.rmeta: crates/platform/src/lib.rs crates/platform/src/pinning.rs crates/platform/src/topology.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/pinning.rs:
+crates/platform/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmemflow_pmem-fbee51025d861f03.d: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs
+
+/root/repo/target/debug/deps/libpmemflow_pmem-fbee51025d861f03.rmeta: crates/pmem/src/lib.rs crates/pmem/src/allocator.rs crates/pmem/src/curves.rs crates/pmem/src/devicebench.rs crates/pmem/src/dimmsim.rs crates/pmem/src/interleave.rs crates/pmem/src/profile.rs crates/pmem/src/region.rs crates/pmem/src/xpbuffer.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/allocator.rs:
+crates/pmem/src/curves.rs:
+crates/pmem/src/devicebench.rs:
+crates/pmem/src/dimmsim.rs:
+crates/pmem/src/interleave.rs:
+crates/pmem/src/profile.rs:
+crates/pmem/src/region.rs:
+crates/pmem/src/xpbuffer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmemflow_sched-bd7004278b5bbd4a.d: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+/root/repo/target/debug/deps/libpmemflow_sched-bd7004278b5bbd4a.rmeta: crates/sched/src/lib.rs crates/sched/src/adaptive.rs crates/sched/src/characterize.rs crates/sched/src/crossover.rs crates/sched/src/model_driven.rs crates/sched/src/planner.rs crates/sched/src/profile.rs crates/sched/src/rules.rs crates/sched/src/table2.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/adaptive.rs:
+crates/sched/src/characterize.rs:
+crates/sched/src/crossover.rs:
+crates/sched/src/model_driven.rs:
+crates/sched/src/planner.rs:
+crates/sched/src/profile.rs:
+crates/sched/src/rules.rs:
+crates/sched/src/table2.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmemflow_workloads-3581e7e78761636a.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libpmemflow_workloads-3581e7e78761636a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/import.rs crates/workloads/src/kernels.rs crates/workloads/src/spec.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/import.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/suite.rs:

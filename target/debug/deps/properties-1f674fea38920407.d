@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1f674fea38920407.d: crates/pmem/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1f674fea38920407.rmeta: crates/pmem/tests/properties.rs
+
+crates/pmem/tests/properties.rs:

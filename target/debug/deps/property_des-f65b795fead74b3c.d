@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_des-f65b795fead74b3c.d: tests/property_des.rs
+
+/root/repo/target/debug/deps/libproperty_des-f65b795fead74b3c.rmeta: tests/property_des.rs
+
+tests/property_des.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_iostack-cc6ee06342a2fa9b.d: tests/property_iostack.rs
+
+/root/repo/target/debug/deps/libproperty_iostack-cc6ee06342a2fa9b.rmeta: tests/property_iostack.rs
+
+tests/property_iostack.rs:

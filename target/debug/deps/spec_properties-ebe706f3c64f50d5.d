@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_properties-ebe706f3c64f50d5.d: crates/workloads/tests/spec_properties.rs
+
+/root/repo/target/debug/deps/libspec_properties-ebe706f3c64f50d5.rmeta: crates/workloads/tests/spec_properties.rs
+
+crates/workloads/tests/spec_properties.rs:

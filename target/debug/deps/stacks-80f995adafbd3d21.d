@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stacks-80f995adafbd3d21.d: crates/bench/src/bin/stacks.rs
+
+/root/repo/target/debug/deps/libstacks-80f995adafbd3d21.rmeta: crates/bench/src/bin/stacks.rs
+
+crates/bench/src/bin/stacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stacks-8c7173eeba21ff34.d: crates/bench/src/bin/stacks.rs
+
+/root/repo/target/debug/deps/libstacks-8c7173eeba21ff34.rmeta: crates/bench/src/bin/stacks.rs
+
+crates/bench/src/bin/stacks.rs:

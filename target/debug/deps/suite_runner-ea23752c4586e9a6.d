@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_runner-ea23752c4586e9a6.d: tests/suite_runner.rs
+
+/root/repo/target/debug/deps/libsuite_runner-ea23752c4586e9a6.rmeta: tests/suite_runner.rs
+
+tests/suite_runner.rs:

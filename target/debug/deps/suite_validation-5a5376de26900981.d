@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_validation-5a5376de26900981.d: crates/sched/tests/suite_validation.rs
+
+/root/repo/target/debug/deps/libsuite_validation-5a5376de26900981.rmeta: crates/sched/tests/suite_validation.rs
+
+crates/sched/tests/suite_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-98f9ebd3d1df6e50.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-98f9ebd3d1df6e50.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e9ad453179a5a198.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-e9ad453179a5a198.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7eb764e19f4b71ff.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-7eb764e19f4b71ff.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

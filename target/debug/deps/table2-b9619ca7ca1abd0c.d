@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b9619ca7ca1abd0c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-b9619ca7ca1abd0c.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

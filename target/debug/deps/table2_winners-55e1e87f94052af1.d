@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_winners-55e1e87f94052af1.d: tests/table2_winners.rs
+
+/root/repo/target/debug/deps/libtable2_winners-55e1e87f94052af1.rmeta: tests/table2_winners.rs
+
+tests/table2_winners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-77d72682299fda80.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/libtune-77d72682299fda80.rmeta: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-877c665a00db0ec0.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/libtune-877c665a00db0ec0.rmeta: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_scheduler-0d2b1de0fc5923f7.d: examples/adaptive_scheduler.rs
+
+/root/repo/target/debug/examples/libadaptive_scheduler-0d2b1de0fc5923f7.rmeta: examples/adaptive_scheduler.rs
+
+examples/adaptive_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-f67fa3c5af7f831b.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/libcrash_recovery-f67fa3c5af7f831b.rmeta: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

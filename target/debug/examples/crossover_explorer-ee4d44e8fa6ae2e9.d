@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossover_explorer-ee4d44e8fa6ae2e9.d: examples/crossover_explorer.rs
+
+/root/repo/target/debug/examples/libcrossover_explorer-ee4d44e8fa6ae2e9.rmeta: examples/crossover_explorer.rs
+
+examples/crossover_explorer.rs:

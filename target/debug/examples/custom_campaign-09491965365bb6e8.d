@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_campaign-09491965365bb6e8.d: examples/custom_campaign.rs
+
+/root/repo/target/debug/examples/libcustom_campaign-09491965365bb6e8.rmeta: examples/custom_campaign.rs
+
+examples/custom_campaign.rs:

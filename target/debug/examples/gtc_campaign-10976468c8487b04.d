@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gtc_campaign-10976468c8487b04.d: examples/gtc_campaign.rs
+
+/root/repo/target/debug/examples/libgtc_campaign-10976468c8487b04.rmeta: examples/gtc_campaign.rs
+
+examples/gtc_campaign.rs:

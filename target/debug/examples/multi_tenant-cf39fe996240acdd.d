@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-cf39fe996240acdd.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/libmulti_tenant-cf39fe996240acdd.rmeta: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

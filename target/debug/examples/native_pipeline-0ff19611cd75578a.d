@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/native_pipeline-0ff19611cd75578a.d: examples/native_pipeline.rs
+
+/root/repo/target/debug/examples/libnative_pipeline-0ff19611cd75578a.rmeta: examples/native_pipeline.rs
+
+examples/native_pipeline.rs:

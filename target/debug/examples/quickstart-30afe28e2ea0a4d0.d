@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-30afe28e2ea0a4d0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-30afe28e2ea0a4d0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline_gantt-eec157368d8c8ad5.d: examples/timeline_gantt.rs
+
+/root/repo/target/debug/examples/libtimeline_gantt-eec157368d8c8ad5.rmeta: examples/timeline_gantt.rs
+
+examples/timeline_gantt.rs:
