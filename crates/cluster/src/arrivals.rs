@@ -1,0 +1,461 @@
+//! Deterministic workflow arrival streams.
+//!
+//! A campaign is driven by a stream of workflow submissions drawn from the
+//! paper's 18-workload suite ([`pmemflow_workloads::paper_suite`]). Three
+//! stream shapes are supported, all seeded and bit-reproducible:
+//!
+//! * **Poisson** (open loop) — exponential inter-arrival times at a fixed
+//!   rate, workloads drawn uniformly from a family mix.
+//! * **Closed loop** — a fixed population of clients; each client submits
+//!   its next workflow a think time after its previous one *completes*
+//!   (arrivals are generated inside the campaign loop, fed by completions).
+//! * **Trace** — explicit `time workload ranks` rows from a file.
+//!
+//! ## Spec grammar (`--arrivals`)
+//!
+//! ```text
+//! poisson:rate=0.02,n=200[,mix=gtc+miniamr]
+//! closed:clients=8,think=30,n=200[,mix=micro]
+//! trace:PATH
+//! ```
+//!
+//! `mix` is a `+`-separated list of family keys (`micro-64mb`, `micro-2kb`,
+//! `gtc-readonly`, `gtc-matmult`, `miniamr-readonly`, `miniamr-matmult`) or
+//! group aliases (`micro`, `gtc`, `miniamr`, `all`; default `all`). Every
+//! drawn workload is one of the suite's entries: a mix family at one of the
+//! paper's three rank levels (8/16/24), chosen uniformly.
+
+use pmemflow_des::rng::SplitMix64;
+use pmemflow_workloads::{paper_suite, Family, WorkflowSpec};
+
+/// One workflow submission.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Submission index (0-based, unique, in submission order).
+    pub id: u64,
+    /// Virtual submission time, seconds.
+    pub time: f64,
+    /// Workflow display name (suite family name).
+    pub workflow: String,
+    /// Ranks per component.
+    pub ranks: usize,
+    /// The workflow to run.
+    pub spec: WorkflowSpec,
+    /// Owning client for closed-loop streams (`None` for open streams).
+    pub client: Option<usize>,
+}
+
+/// A parsed arrival stream specification.
+#[derive(Debug, Clone)]
+pub enum ArrivalSpec {
+    /// Open-loop Poisson arrivals.
+    Poisson {
+        /// Mean arrivals per virtual second.
+        rate: f64,
+        /// Total submissions.
+        count: u64,
+        /// Families workloads are drawn from.
+        mix: Vec<Family>,
+    },
+    /// Closed-loop arrivals: `clients` concurrent submitters, each
+    /// re-submitting `think` seconds after its previous job completes.
+    Closed {
+        /// Client population.
+        clients: usize,
+        /// Think time between a completion and the next submission.
+        think: f64,
+        /// Total submissions across all clients.
+        count: u64,
+        /// Families workloads are drawn from.
+        mix: Vec<Family>,
+    },
+    /// Pre-recorded arrivals (time, workload, ranks rows).
+    Trace(Vec<TraceRow>),
+}
+
+/// One row of a trace file.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Submission time, seconds.
+    pub time: f64,
+    /// Workload family.
+    pub family: Family,
+    /// Ranks per component.
+    pub ranks: usize,
+}
+
+/// Resolve a family key (CLI workload names, case-insensitive).
+pub fn family_by_key(key: &str) -> Option<Family> {
+    match key.to_ascii_lowercase().as_str() {
+        "micro-64mb" => Some(Family::Micro64MB),
+        "micro-2kb" => Some(Family::Micro2KB),
+        "gtc-readonly" => Some(Family::GtcReadOnly),
+        "gtc-matmult" | "gtc-matmul" => Some(Family::GtcMatMul),
+        "miniamr-readonly" => Some(Family::MiniAmrReadOnly),
+        "miniamr-matmult" | "miniamr-matmul" => Some(Family::MiniAmrMatMul),
+        _ => None,
+    }
+}
+
+/// Expand one mix token (a family key or a group alias) into families.
+fn mix_token(token: &str) -> Result<Vec<Family>, String> {
+    if let Some(f) = family_by_key(token) {
+        return Ok(vec![f]);
+    }
+    match token.to_ascii_lowercase().as_str() {
+        "all" => Ok(Family::all().to_vec()),
+        "micro" => Ok(vec![Family::Micro64MB, Family::Micro2KB]),
+        "gtc" => Ok(vec![Family::GtcReadOnly, Family::GtcMatMul]),
+        "miniamr" => Ok(vec![Family::MiniAmrReadOnly, Family::MiniAmrMatMul]),
+        other => Err(format!(
+            "unknown mix token {other:?}; families: micro-64mb, micro-2kb, gtc-readonly, \
+             gtc-matmult, miniamr-readonly, miniamr-matmult; groups: micro, gtc, miniamr, all"
+        )),
+    }
+}
+
+/// Parse a `+`-separated mix list; deduplicates, keeps first-seen order.
+fn parse_mix(s: &str) -> Result<Vec<Family>, String> {
+    let mut mix = Vec::new();
+    for token in s.split('+') {
+        for f in mix_token(token.trim())? {
+            if !mix.contains(&f) {
+                mix.push(f);
+            }
+        }
+    }
+    if mix.is_empty() {
+        return Err("empty mix".into());
+    }
+    Ok(mix)
+}
+
+fn parse_kv(pairs: &str) -> Result<Vec<(&str, &str)>, String> {
+    pairs
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| {
+            p.split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("expected key=value, got {p:?}"))
+        })
+        .collect()
+}
+
+impl ArrivalSpec {
+    /// Parse a spec string (see the module docs for the grammar). Trace
+    /// specs read their file here, so parse errors surface at CLI time.
+    pub fn parse(s: &str) -> Result<ArrivalSpec, String> {
+        let (kind, rest) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected KIND:ARGS, got {s:?}"))?;
+        match kind.trim().to_ascii_lowercase().as_str() {
+            "poisson" => {
+                let mut rate = None;
+                let mut count = None;
+                let mut mix = Family::all().to_vec();
+                for (k, v) in parse_kv(rest)? {
+                    match k {
+                        "rate" => {
+                            rate = Some(v.parse::<f64>().map_err(|_| format!("bad rate {v:?}"))?)
+                        }
+                        "n" => count = Some(v.parse::<u64>().map_err(|_| format!("bad n {v:?}"))?),
+                        "mix" => mix = parse_mix(v)?,
+                        other => return Err(format!("unknown poisson key {other:?}")),
+                    }
+                }
+                let rate = rate.ok_or("poisson needs rate=...")?;
+                let count = count.ok_or("poisson needs n=...")?;
+                if rate <= 0.0 || rate.is_nan() || count == 0 {
+                    return Err("poisson needs rate > 0 and n > 0".into());
+                }
+                Ok(ArrivalSpec::Poisson { rate, count, mix })
+            }
+            "closed" => {
+                let mut clients = None;
+                let mut think = None;
+                let mut count = None;
+                let mut mix = Family::all().to_vec();
+                for (k, v) in parse_kv(rest)? {
+                    match k {
+                        "clients" => {
+                            clients = Some(
+                                v.parse::<usize>()
+                                    .map_err(|_| format!("bad clients {v:?}"))?,
+                            )
+                        }
+                        "think" => {
+                            think = Some(v.parse::<f64>().map_err(|_| format!("bad think {v:?}"))?)
+                        }
+                        "n" => count = Some(v.parse::<u64>().map_err(|_| format!("bad n {v:?}"))?),
+                        "mix" => mix = parse_mix(v)?,
+                        other => return Err(format!("unknown closed key {other:?}")),
+                    }
+                }
+                let clients = clients.ok_or("closed needs clients=...")?;
+                let think = think.unwrap_or(0.0);
+                let count = count.ok_or("closed needs n=...")?;
+                if clients == 0 || count == 0 || think < 0.0 {
+                    return Err("closed needs clients > 0, n > 0, think >= 0".into());
+                }
+                Ok(ArrivalSpec::Closed {
+                    clients,
+                    think,
+                    count,
+                    mix,
+                })
+            }
+            "trace" => {
+                let text = std::fs::read_to_string(rest.trim())
+                    .map_err(|e| format!("cannot read trace {rest:?}: {e}"))?;
+                let rows = parse_trace(&text)?;
+                Ok(ArrivalSpec::Trace(rows))
+            }
+            other => Err(format!(
+                "unknown arrival kind {other:?}; expected poisson, closed or trace"
+            )),
+        }
+    }
+
+    /// Total number of submissions the stream will make.
+    pub fn count(&self) -> u64 {
+        match self {
+            ArrivalSpec::Poisson { count, .. } | ArrivalSpec::Closed { count, .. } => *count,
+            ArrivalSpec::Trace(rows) => rows.len() as u64,
+        }
+    }
+
+    /// Every distinct (workflow, ranks) the stream can draw — the
+    /// alphabet a campaign pre-characterizes in parallel before serving
+    /// arrivals. Suite order, deduplicated.
+    pub fn alphabet(&self) -> Vec<(String, usize, WorkflowSpec)> {
+        let suite = paper_suite();
+        let mut out: Vec<(String, usize, WorkflowSpec)> = Vec::new();
+        let mut push = |family: Family, ranks: usize| {
+            let name = family.name().to_string();
+            if !out.iter().any(|(n, r, _)| *n == name && *r == ranks) {
+                out.push((name, ranks, family.build(ranks)));
+            }
+        };
+        match self {
+            ArrivalSpec::Poisson { mix, .. } | ArrivalSpec::Closed { mix, .. } => {
+                for entry in &suite {
+                    if mix.contains(&entry.family) {
+                        push(entry.family, entry.ranks);
+                    }
+                }
+            }
+            ArrivalSpec::Trace(rows) => {
+                for row in rows {
+                    push(row.family, row.ranks);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parse trace text: whitespace-separated `time workload ranks` rows,
+/// `#` comments and blank lines ignored.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRow>, String> {
+    let mut rows = Vec::new();
+    let mut last_time = 0.0f64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| format!("trace line {}: {what}: {line:?}", lineno + 1);
+        let time: f64 = parts
+            .next()
+            .ok_or_else(|| err("missing time"))?
+            .parse()
+            .map_err(|_| err("bad time"))?;
+        let family = parts
+            .next()
+            .and_then(family_by_key)
+            .ok_or_else(|| err("bad workload"))?;
+        let ranks: usize = parts
+            .next()
+            .ok_or_else(|| err("missing ranks"))?
+            .parse()
+            .map_err(|_| err("bad ranks"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        if time < last_time || time.is_nan() {
+            return Err(err("times must be non-decreasing"));
+        }
+        last_time = time;
+        rows.push(TraceRow {
+            time,
+            family,
+            ranks,
+        });
+    }
+    if rows.is_empty() {
+        return Err("trace has no arrivals".into());
+    }
+    Ok(rows)
+}
+
+/// Draw one suite entry (family at a paper rank level) from `mix`.
+pub(crate) fn draw_workload(mix: &[Family], rng: &mut SplitMix64) -> (Family, usize) {
+    let levels = [8usize, 16, 24];
+    let i = rng.range_usize(0, mix.len() * levels.len());
+    (mix[i / levels.len()], levels[i % levels.len()])
+}
+
+/// Pre-generate the arrivals of an *open* stream (Poisson or trace).
+/// Closed-loop arrivals depend on completions and are generated by the
+/// campaign loop itself.
+pub fn generate_open(spec: &ArrivalSpec, seed: u64) -> Option<Vec<Arrival>> {
+    match spec {
+        ArrivalSpec::Poisson { rate, count, mix } => {
+            let mut rng = SplitMix64::new(seed);
+            let mut time = 0.0f64;
+            let mut out = Vec::with_capacity(*count as usize);
+            for id in 0..*count {
+                // Exponential inter-arrival: -ln(1-U)/rate, U in [0,1).
+                time += -(1.0 - rng.next_f64()).ln() / rate;
+                let (family, ranks) = draw_workload(mix, &mut rng);
+                out.push(Arrival {
+                    id,
+                    time,
+                    workflow: family.name().to_string(),
+                    ranks,
+                    spec: family.build(ranks),
+                    client: None,
+                });
+            }
+            Some(out)
+        }
+        ArrivalSpec::Trace(rows) => Some(
+            rows.iter()
+                .enumerate()
+                .map(|(id, row)| Arrival {
+                    id: id as u64,
+                    time: row.time,
+                    workflow: row.family.name().to_string(),
+                    ranks: row.ranks,
+                    spec: row.family.build(row.ranks),
+                    client: None,
+                })
+                .collect(),
+        ),
+        ArrivalSpec::Closed { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_spec_parses_and_generates() {
+        let spec = ArrivalSpec::parse("poisson:rate=0.5,n=20,mix=gtc+miniamr").unwrap();
+        let arrivals = generate_open(&spec, 7).unwrap();
+        assert_eq!(arrivals.len(), 20);
+        let mut last = 0.0;
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.id, i as u64);
+            assert!(a.time > last);
+            last = a.time;
+            assert!(a.workflow.starts_with("GTC") || a.workflow.starts_with("miniAMR"));
+            assert!([8, 16, 24].contains(&a.ranks));
+        }
+        // Deterministic per seed, different across seeds.
+        let again = generate_open(&spec, 7).unwrap();
+        assert_eq!(arrivals.len(), again.len());
+        for (a, b) in arrivals.iter().zip(again.iter()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.workflow, b.workflow);
+        }
+        let other = generate_open(&spec, 8).unwrap();
+        assert!(arrivals
+            .iter()
+            .zip(other.iter())
+            .any(|(a, b)| a.time != b.time || a.workflow != b.workflow));
+    }
+
+    #[test]
+    fn poisson_rate_controls_density() {
+        let fast = generate_open(&ArrivalSpec::parse("poisson:rate=1,n=100").unwrap(), 1).unwrap();
+        let slow =
+            generate_open(&ArrivalSpec::parse("poisson:rate=0.1,n=100").unwrap(), 1).unwrap();
+        assert!(slow.last().unwrap().time > 5.0 * fast.last().unwrap().time);
+    }
+
+    #[test]
+    fn closed_spec_parses() {
+        match ArrivalSpec::parse("closed:clients=4,think=30,n=50,mix=micro").unwrap() {
+            ArrivalSpec::Closed {
+                clients,
+                think,
+                count,
+                mix,
+            } => {
+                assert_eq!((clients, count), (4, 50));
+                assert_eq!(think, 30.0);
+                assert_eq!(mix, vec![Family::Micro64MB, Family::Micro2KB]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_parses_with_comments() {
+        let rows = parse_trace(
+            "# warmup\n0 micro-64mb 8\n5.5 gtc-matmult 16 # spike\n\n9 miniamr-readonly 24\n",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].family, Family::GtcMatMul);
+        assert_eq!(rows[2].ranks, 24);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "poisson",
+            "poisson:rate=0,n=10",
+            "poisson:rate=1",
+            "poisson:rate=1,n=10,mix=hpl",
+            "poisson:rate=1,n=10,burst=2",
+            "closed:clients=0,n=10",
+            "uniform:rate=1,n=10",
+            "trace:/nonexistent/file",
+        ] {
+            assert!(ArrivalSpec::parse(bad).is_err(), "{bad} accepted");
+        }
+        assert!(parse_trace("3 micro-64mb 8\n1 micro-64mb 8").is_err());
+        assert!(parse_trace("0 hpl 8").is_err());
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn alphabet_covers_mix_at_all_levels() {
+        let spec = ArrivalSpec::parse("poisson:rate=1,n=5,mix=gtc").unwrap();
+        let alpha = spec.alphabet();
+        assert_eq!(alpha.len(), 6); // 2 GTC families x 3 rank levels
+        for (name, ranks, wf) in &alpha {
+            assert!(name.starts_with("GTC"));
+            assert_eq!(wf.ranks, *ranks);
+            wf.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn draws_cover_the_whole_alphabet() {
+        let mix = vec![Family::GtcReadOnly, Family::MiniAmrMatMul];
+        let mut rng = SplitMix64::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let (f, r) = draw_workload(&mix, &mut rng);
+            assert!(mix.contains(&f));
+            seen.insert((f.name(), r));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

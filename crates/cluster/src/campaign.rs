@@ -1,0 +1,709 @@
+//! The online cluster campaign: admit, queue, place, drain.
+//!
+//! A campaign serves a stream of workflow arrivals over `N` modeled nodes.
+//! The loop is an event-driven simulation one level above the per-workflow
+//! DES: its events are arrivals and job completions, and the service-time
+//! model for each running job comes from the device model below it.
+//!
+//! ## Service model
+//!
+//! Each job carries `work` — its predicted solo runtime (from the oracle's
+//! per-configuration sweep) in *solo-seconds*. While a set `S` of jobs is
+//! resident on a node, every job `j ∈ S` progresses at rate
+//! `1 / slowdown_j(S)`, where the slowdowns come from co-simulating `S`
+//! against the shared PMEM device ([`Oracle::corun_slowdowns`], memoized
+//! per multiset). Whenever `S` changes — an admission or a completion —
+//! the node is re-priced and remaining work carries over. This is a
+//! quantized mean-field approximation: interference is exact for each
+//! resident set, held piecewise-constant between membership changes.
+//!
+//! ## Determinism
+//!
+//! Everything is ordered by `(time, id)` with total f64 comparisons, the
+//! arrival stream is seeded, and all parallelism (`jobs`) lives in caches
+//! whose values are bit-identical however they are computed — so a
+//! campaign's JSONL is byte-identical for any `--jobs` and across runs.
+
+use crate::arrivals::{draw_workload, generate_open, Arrival, ArrivalSpec};
+use crate::policy::{NodeView, Policy, QueuedJob, ResidentView};
+use crate::predict::{Oracle, TenantKey};
+use pmemflow_core::{json_escape, json_f64, ExecError, ExecutionParams, SchedConfig};
+use pmemflow_des::rng::SplitMix64;
+use std::collections::VecDeque;
+
+/// Runtime threshold for bounded slowdown (seconds): jobs shorter than
+/// this are not allowed to dominate the metric (Feitelson's BSLD).
+pub const BSLD_TAU: f64 = 10.0;
+
+/// Everything a campaign needs besides the policy.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of identical nodes (each the paper's dual-socket testbed
+    /// unless `exec.node` says otherwise).
+    pub nodes: usize,
+    /// The arrival stream.
+    pub arrivals: ArrivalSpec,
+    /// Stream seed.
+    pub seed: u64,
+    /// Per-node execution parameters (device profile, I/O stack, ...).
+    pub exec: ExecutionParams,
+}
+
+/// Errors from running a campaign.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Bad campaign configuration.
+    Config(String),
+    /// A simulation below the campaign failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(s) => write!(f, "invalid campaign: {s}"),
+            ClusterError::Exec(e) => write!(f, "campaign simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ExecError> for ClusterError {
+    fn from(e: ExecError) -> Self {
+        ClusterError::Exec(e)
+    }
+}
+
+/// The fate of one served job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submission id (arrival order).
+    pub id: u64,
+    /// Workflow display name.
+    pub workflow: String,
+    /// Ranks per component.
+    pub ranks: usize,
+    /// Configuration it ran under.
+    pub config: SchedConfig,
+    /// Node it ran on.
+    pub node: usize,
+    /// Submission time.
+    pub arrival: f64,
+    /// Admission time.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Predicted solo runtime under `config` (the job's work).
+    pub solo: f64,
+}
+
+impl JobRecord {
+    /// Queue wait: admission − submission.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Response time: completion − submission.
+    pub fn response(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Interference stretch while running: service time over solo time.
+    pub fn stretch(&self) -> f64 {
+        (self.finish - self.start) / self.solo
+    }
+
+    /// Bounded slowdown: `max(response / max(solo, tau), 1)`.
+    pub fn bounded_slowdown(&self, tau: f64) -> f64 {
+        (self.response() / self.solo.max(tau)).max(1.0)
+    }
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Policy that served the campaign.
+    pub policy: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Every served job, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Time the last job finished.
+    pub makespan: f64,
+    /// Per-node busy core-seconds (both sockets).
+    pub busy_core_secs: Vec<f64>,
+    /// Total cores per node (both sockets).
+    pub cores_per_node: usize,
+    /// Distinct co-residency sets priced against the device model so far.
+    /// Diagnostics only: with a shared oracle this counts other concurrent
+    /// campaigns' pricing too, so it is NOT deterministic and is excluded
+    /// from the JSONL.
+    pub corun_sets_priced: usize,
+}
+
+impl CampaignOutcome {
+    /// Mean queue wait, seconds.
+    pub fn mean_wait(&self) -> f64 {
+        mean(self.jobs.iter().map(JobRecord::wait))
+    }
+
+    /// 95th-percentile queue wait, seconds (nearest-rank).
+    pub fn p95_wait(&self) -> f64 {
+        let mut waits: Vec<f64> = self.jobs.iter().map(JobRecord::wait).collect();
+        if waits.is_empty() {
+            return 0.0;
+        }
+        waits.sort_by(f64::total_cmp);
+        waits[((waits.len() as f64 * 0.95).ceil() as usize).clamp(1, waits.len()) - 1]
+    }
+
+    /// Mean response time, seconds.
+    pub fn mean_response(&self) -> f64 {
+        mean(self.jobs.iter().map(JobRecord::response))
+    }
+
+    /// Mean bounded slowdown (tau = [`BSLD_TAU`]).
+    pub fn mean_bounded_slowdown(&self) -> f64 {
+        mean(self.jobs.iter().map(|j| j.bounded_slowdown(BSLD_TAU)))
+    }
+
+    /// Maximum bounded slowdown.
+    pub fn max_bounded_slowdown(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.bounded_slowdown(BSLD_TAU))
+            .fold(1.0, f64::max)
+    }
+
+    /// Per-node utilization: busy core-seconds over `cores × makespan`.
+    pub fn utilization(&self) -> Vec<f64> {
+        let denom = self.cores_per_node as f64 * self.makespan;
+        self.busy_core_secs
+            .iter()
+            .map(|&b| if denom > 0.0 { b / denom } else { 0.0 })
+            .collect()
+    }
+
+    /// Serialize the campaign as JSON Lines: one `"kind":"job"` record per
+    /// job (submission order) and one closing `"kind":"campaign"` summary.
+    /// Every field is deterministic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity((self.jobs.len() + 1) * 256);
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{{\"kind\":\"job\",\"policy\":\"{}\",\"seed\":{},\"id\":{},\"workflow\":\"{}\",\
+                 \"ranks\":{},\"config\":\"{}\",\"node\":{},\"arrival_s\":{},\"start_s\":{},\
+                 \"finish_s\":{},\"wait_s\":{},\"response_s\":{},\"solo_s\":{},\"stretch\":{},\
+                 \"bounded_slowdown\":{}}}\n",
+                json_escape(&self.policy),
+                self.seed,
+                j.id,
+                json_escape(&j.workflow),
+                j.ranks,
+                j.config.label(),
+                j.node,
+                json_f64(j.arrival),
+                json_f64(j.start),
+                json_f64(j.finish),
+                json_f64(j.wait()),
+                json_f64(j.response()),
+                json_f64(j.solo),
+                json_f64(j.stretch()),
+                json_f64(j.bounded_slowdown(BSLD_TAU)),
+            ));
+        }
+        let util = self
+            .utilization()
+            .iter()
+            .map(|u| json_f64(*u))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"kind\":\"campaign\",\"policy\":\"{}\",\"seed\":{},\"nodes\":{},\"jobs\":{},\
+             \"makespan_s\":{},\"mean_wait_s\":{},\"p95_wait_s\":{},\"mean_response_s\":{},\
+             \"mean_bounded_slowdown\":{},\"max_bounded_slowdown\":{},\"utilization\":[{}]}}\n",
+            json_escape(&self.policy),
+            self.seed,
+            self.nodes,
+            self.jobs.len(),
+            json_f64(self.makespan),
+            json_f64(self.mean_wait()),
+            json_f64(self.p95_wait()),
+            json_f64(self.mean_response()),
+            json_f64(self.mean_bounded_slowdown()),
+            json_f64(self.max_bounded_slowdown()),
+            util,
+        ));
+        out
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in it {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+struct Running {
+    id: u64,
+    workflow: String,
+    ranks: usize,
+    config: SchedConfig,
+    arrival: f64,
+    start: f64,
+    client: Option<usize>,
+    /// Solo-seconds of work left.
+    remaining: f64,
+    /// Predicted solo runtime under `config`.
+    solo: f64,
+    /// Current rate divisor from the node's resident set.
+    slowdown: f64,
+}
+
+impl Running {
+    fn projected_finish(&self, now: f64) -> f64 {
+        now + self.remaining * self.slowdown
+    }
+}
+
+struct NodeState {
+    running: Vec<Running>,
+    busy_core_secs: f64,
+}
+
+struct Queued {
+    id: u64,
+    workflow: String,
+    ranks: usize,
+    arrival: f64,
+    client: Option<usize>,
+}
+
+/// Closed-loop stream state inside the loop.
+struct ClosedLoop {
+    think: f64,
+    mix: Vec<pmemflow_workloads::Family>,
+    rng: SplitMix64,
+    /// Submissions not yet made.
+    budget: u64,
+    next_id: u64,
+}
+
+impl ClosedLoop {
+    fn submit(&mut self, time: f64, client: usize) -> Option<Arrival> {
+        if self.budget == 0 {
+            return None;
+        }
+        self.budget -= 1;
+        let (family, ranks) = draw_workload(&self.mix, &mut self.rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Arrival {
+            id,
+            time,
+            workflow: family.name().to_string(),
+            ranks,
+            spec: family.build(ranks),
+            client: Some(client),
+        })
+    }
+}
+
+/// Serve `config.arrivals` with `policy`, using up to `jobs` parallel
+/// simulations for the oracle warm-up (never affecting results). Returns
+/// the per-job records and campaign aggregates.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    policy: &dyn Policy,
+    jobs: usize,
+) -> Result<CampaignOutcome, ClusterError> {
+    validate(config)?;
+    let oracle = Oracle::build(&config.arrivals.alphabet(), &config.exec, jobs)?;
+    run_campaign_with_oracle(config, policy, &oracle)
+}
+
+fn validate(config: &CampaignConfig) -> Result<(), ClusterError> {
+    if config.nodes == 0 {
+        return Err(ClusterError::Config("at least one node required".into()));
+    }
+    let cores_per_socket = config.exec.node.cores_per_socket();
+    // Reject alphabet entries that cannot run even on an empty node —
+    // better a config error up front than a stuck queue later.
+    for (name, ranks, _) in config.arrivals.alphabet() {
+        if ranks > cores_per_socket {
+            return Err(ClusterError::Config(format!(
+                "{name}@{ranks} can never fit a {cores_per_socket}-core socket"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`run_campaign`] against a pre-built (shareable) oracle.
+pub fn run_campaign_with_oracle(
+    config: &CampaignConfig,
+    policy: &dyn Policy,
+    oracle: &Oracle,
+) -> Result<CampaignOutcome, ClusterError> {
+    validate(config)?;
+    let cores_per_socket = config.exec.node.cores_per_socket();
+
+    let mut pending: VecDeque<Arrival> = VecDeque::new();
+    let mut closed: Option<ClosedLoop> = None;
+    match &config.arrivals {
+        ArrivalSpec::Closed {
+            clients,
+            think,
+            count,
+            mix,
+        } => {
+            let mut state = ClosedLoop {
+                think: *think,
+                mix: mix.clone(),
+                rng: SplitMix64::new(config.seed),
+                budget: *count,
+                next_id: 0,
+            };
+            // Every client submits its first job at t = 0.
+            for c in 0..*clients {
+                if let Some(a) = state.submit(0.0, c) {
+                    pending.push_back(a);
+                }
+            }
+            closed = Some(state);
+        }
+        open => {
+            pending.extend(generate_open(open, config.seed).expect("open stream"));
+        }
+    }
+
+    let mut nodes: Vec<NodeState> = (0..config.nodes)
+        .map(|_| NodeState {
+            running: Vec::new(),
+            busy_core_secs: 0.0,
+        })
+        .collect();
+    let mut queue: Vec<Queued> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    // Re-price a node after a membership change: one co-simulation of the
+    // resident multiset (memoized), remaining work carries over.
+    let reprice = |node: &mut NodeState| -> Result<(), ClusterError> {
+        let keys: Vec<TenantKey> = node
+            .running
+            .iter()
+            .map(|r| TenantKey::new(&r.workflow, r.ranks, r.config))
+            .collect();
+        let slowdowns = oracle.corun_slowdowns(&keys)?;
+        for (r, s) in node.running.iter_mut().zip(slowdowns) {
+            r.slowdown = s.max(1.0);
+        }
+        Ok(())
+    };
+
+    loop {
+        // Next event: the earliest arrival or projected completion.
+        let next_arrival = pending.front().map(|a| a.time);
+        let next_completion = nodes
+            .iter()
+            .flat_map(|n| n.running.iter().map(|r| r.projected_finish(now)))
+            .min_by(f64::total_cmp);
+        let t = match (next_arrival, next_completion) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => break,
+        };
+        debug_assert!(t >= now - 1e-9, "time went backwards: {t} < {now}");
+        let dt = (t - now).max(0.0);
+
+        // Advance running work and busy time to t.
+        for node in &mut nodes {
+            for r in &mut node.running {
+                r.remaining = (r.remaining - dt / r.slowdown).max(0.0);
+                node.busy_core_secs += 2.0 * r.ranks as f64 * dt;
+            }
+        }
+        now = t;
+
+        // Completions at t (tolerance for float drift), deterministic order
+        // by (node, id).
+        let mut changed: Vec<usize> = Vec::new();
+        let mut finished_clients: Vec<usize> = Vec::new();
+        for (ni, node) in nodes.iter_mut().enumerate() {
+            let mut i = 0;
+            while i < node.running.len() {
+                if node.running[i].projected_finish(now) <= now + 1e-9 {
+                    let r = node.running.remove(i);
+                    makespan = makespan.max(now);
+                    if let Some(c) = r.client {
+                        finished_clients.push(c);
+                    }
+                    records.push(JobRecord {
+                        id: r.id,
+                        workflow: r.workflow,
+                        ranks: r.ranks,
+                        config: r.config,
+                        node: ni,
+                        arrival: r.arrival,
+                        start: r.start,
+                        finish: now,
+                        solo: r.solo,
+                    });
+                    if !changed.contains(&ni) {
+                        changed.push(ni);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Closed loop: each completion triggers its client's next think.
+        if let Some(state) = closed.as_mut() {
+            finished_clients.sort_unstable();
+            for c in finished_clients {
+                if let Some(a) = state.submit(now + state.think, c) {
+                    // Insert keeping pending sorted by (time, id).
+                    let at = pending
+                        .iter()
+                        .position(|p| (p.time, p.id) > (a.time, a.id))
+                        .unwrap_or(pending.len());
+                    pending.insert(at, a);
+                }
+            }
+        }
+
+        // Arrivals at t.
+        while pending.front().is_some_and(|a| a.time <= now + 1e-9) {
+            let a = pending.pop_front().expect("front exists");
+            queue.push(Queued {
+                id: a.id,
+                workflow: a.workflow,
+                ranks: a.ranks,
+                arrival: a.time,
+                client: a.client,
+            });
+        }
+
+        for &ni in &changed {
+            reprice(&mut nodes[ni])?;
+        }
+
+        // Policy rounds: consult, apply what fits, re-price, repeat until
+        // the policy places nothing more (each round shrinks the queue, so
+        // this terminates).
+        loop {
+            let queue_view: Vec<QueuedJob> = queue
+                .iter()
+                .map(|q| QueuedJob {
+                    id: q.id,
+                    workflow: q.workflow.clone(),
+                    ranks: q.ranks,
+                    arrival: q.arrival,
+                })
+                .collect();
+            let node_views: Vec<NodeView> = nodes
+                .iter()
+                .enumerate()
+                .map(|(id, n)| NodeView {
+                    id,
+                    cores_per_socket,
+                    residents: n
+                        .running
+                        .iter()
+                        .map(|r| ResidentView {
+                            id: r.id,
+                            workflow: r.workflow.clone(),
+                            ranks: r.ranks,
+                            config: r.config,
+                            projected_finish: r.projected_finish(now),
+                        })
+                        .collect(),
+                })
+                .collect();
+            let batch = policy.schedule(now, &queue_view, &node_views, oracle)?;
+            if batch.is_empty() {
+                break;
+            }
+            let mut placed_any = false;
+            let mut touched: Vec<usize> = Vec::new();
+            for p in batch {
+                let Some(qi) = queue.iter().position(|q| q.id == p.job) else {
+                    return Err(ClusterError::Config(format!(
+                        "policy {} placed unknown job {}",
+                        policy.name(),
+                        p.job
+                    )));
+                };
+                let used: usize = nodes[p.node].running.iter().map(|r| r.ranks).sum();
+                if used + queue[qi].ranks > cores_per_socket {
+                    // Batch raced its own earlier placements; re-consult.
+                    continue;
+                }
+                let q = queue.remove(qi);
+                let solo = oracle.solo_runtime(&q.workflow, q.ranks, p.config);
+                nodes[p.node].running.push(Running {
+                    id: q.id,
+                    workflow: q.workflow,
+                    ranks: q.ranks,
+                    config: p.config,
+                    arrival: q.arrival,
+                    start: now,
+                    client: q.client,
+                    remaining: solo,
+                    solo,
+                    slowdown: 1.0,
+                });
+                if !touched.contains(&p.node) {
+                    touched.push(p.node);
+                }
+                placed_any = true;
+            }
+            for &ni in &touched {
+                reprice(&mut nodes[ni])?;
+            }
+            if !placed_any {
+                break;
+            }
+        }
+    }
+
+    if !queue.is_empty() {
+        return Err(ClusterError::Config(format!(
+            "campaign drained with {} jobs still queued (policy {})",
+            queue.len(),
+            policy.name()
+        )));
+    }
+    records.sort_by_key(|r| r.id);
+    Ok(CampaignOutcome {
+        policy: policy.name().to_string(),
+        seed: config.seed,
+        nodes: config.nodes,
+        jobs: records,
+        makespan,
+        busy_core_secs: nodes.iter().map(|n| n.busy_core_secs).collect(),
+        cores_per_node: 2 * cores_per_socket,
+        corun_sets_priced: oracle.corun_cache_len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{all_policies, Fcfs};
+
+    fn micro_config(n_arrivals: u64, nodes: usize) -> CampaignConfig {
+        CampaignConfig {
+            nodes,
+            arrivals: ArrivalSpec::parse(&format!(
+                "poisson:rate=0.005,n={n_arrivals},mix=micro-64mb"
+            ))
+            .unwrap(),
+            seed: 42,
+            exec: ExecutionParams::default(),
+        }
+    }
+
+    #[test]
+    fn fcfs_campaign_serves_every_arrival() {
+        let cfg = micro_config(6, 2);
+        let out = run_campaign(&cfg, &Fcfs, 2).unwrap();
+        assert_eq!(out.jobs.len(), 6);
+        for (i, j) in out.jobs.iter().enumerate() {
+            assert_eq!(j.id, i as u64);
+            assert!(j.start >= j.arrival - 1e-9, "job {i} started early");
+            assert!(j.finish > j.start, "job {i} has no service time");
+            assert!(j.node < 2);
+            assert!(j.stretch() >= 0.999, "job {i} ran faster than solo");
+        }
+        assert!(out.makespan >= out.jobs.iter().map(|j| j.finish).fold(0.0, f64::max) - 1e-9);
+        let util = out.utilization();
+        assert_eq!(util.len(), 2);
+        assert!(util.iter().all(|&u| (0.0..=1.0 + 1e-9).contains(&u)));
+    }
+
+    #[test]
+    fn zero_nodes_is_a_config_error() {
+        let cfg = micro_config(3, 0);
+        assert!(matches!(
+            run_campaign(&cfg, &Fcfs, 1),
+            Err(ClusterError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_workload_is_rejected_up_front() {
+        let mut cfg = micro_config(3, 2);
+        cfg.exec.node = pmemflow_platform::Node::dual_socket(4, 1 << 30, 1 << 30);
+        assert!(matches!(
+            run_campaign(&cfg, &Fcfs, 1),
+            Err(ClusterError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn closed_loop_respects_population_and_budget() {
+        let cfg = CampaignConfig {
+            nodes: 2,
+            arrivals: ArrivalSpec::parse("closed:clients=2,think=5,n=8,mix=micro-64mb").unwrap(),
+            seed: 1,
+            exec: ExecutionParams::default(),
+        };
+        let out = run_campaign(&cfg, &Fcfs, 2).unwrap();
+        assert_eq!(out.jobs.len(), 8);
+        // At most `clients` jobs are ever in flight: sort by start, check
+        // every start has fewer than 2 unfinished predecessors.
+        for j in &out.jobs {
+            let in_flight = out
+                .jobs
+                .iter()
+                .filter(|o| o.id != j.id && o.start <= j.start && o.finish > j.start)
+                .count();
+            assert!(
+                in_flight < 2,
+                "job {} overlapped {} others",
+                j.id,
+                in_flight
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_is_parseable_shape() {
+        let out = run_campaign(&micro_config(4, 2), &Fcfs, 2).unwrap();
+        let text = out.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 jobs + summary
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+        assert!(lines[..4].iter().all(|l| l.contains("\"kind\":\"job\"")));
+        assert!(lines[4].contains("\"kind\":\"campaign\""));
+        assert!(lines[4].contains("\"mean_bounded_slowdown\":"));
+    }
+
+    #[test]
+    fn all_policies_serve_the_same_stream() {
+        let cfg = micro_config(5, 2);
+        let oracle = Oracle::build(&cfg.arrivals.alphabet(), &cfg.exec, 2).unwrap();
+        for policy in all_policies() {
+            let out = run_campaign_with_oracle(&cfg, policy.as_ref(), &oracle).unwrap();
+            assert_eq!(out.jobs.len(), 5, "{}", policy.name());
+            assert_eq!(out.policy, policy.name());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # pmemflow-cluster — online multi-node campaign scheduling
+//!
+//! The paper schedules one workflow onto one dual-socket PMEM node. This
+//! crate asks the operational question a facility faces next: given a
+//! *stream* of such workflows arriving at a *cluster* of those nodes,
+//! which queue policy serves them best when co-located tenants contend
+//! for the shared PMEM devices?
+//!
+//! Three layers:
+//!
+//! * [`arrivals`] — deterministic workflow arrival streams (Poisson,
+//!   closed-loop, trace-file) over the paper's 18-workload suite.
+//! * [`predict`] — the shared prediction oracle: per-workload
+//!   configuration sweeps and memoized co-run pricing through the real
+//!   device model.
+//! * [`policy`] + [`campaign`] — four pluggable queue policies (FCFS,
+//!   EASY backfill, Table II rules, interference-aware best fit) driven
+//!   by an event loop that re-prices node interference on every
+//!   resident-set change and emits per-job queueing metrics as
+//!   deterministic JSONL.
+//!
+//! ```no_run
+//! use pmemflow_cluster::{
+//!     run_campaign, ArrivalSpec, CampaignConfig, Fcfs,
+//! };
+//! use pmemflow_core::ExecutionParams;
+//!
+//! let config = CampaignConfig {
+//!     nodes: 4,
+//!     arrivals: ArrivalSpec::parse("poisson:rate=0.01,n=200,mix=gtc+miniamr").unwrap(),
+//!     seed: 42,
+//!     exec: ExecutionParams::default(),
+//! };
+//! let outcome = run_campaign(&config, &Fcfs, 4).unwrap();
+//! println!("{}", outcome.to_jsonl());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod campaign;
+pub mod policy;
+pub mod predict;
+
+pub use arrivals::{generate_open, parse_trace, Arrival, ArrivalSpec, TraceRow};
+pub use campaign::{
+    run_campaign, run_campaign_with_oracle, CampaignConfig, CampaignOutcome, ClusterError,
+    JobRecord, BSLD_TAU,
+};
+pub use policy::{
+    all_policies, policy_by_name, EasyBackfill, Fcfs, InterferenceAware, NodeView, Placement,
+    Policy, QueuedJob, ResidentView, Table2Rule, POLICY_CHOICES,
+};
+pub use predict::{Oracle, TenantKey};

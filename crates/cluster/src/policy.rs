@@ -1,0 +1,413 @@
+//! Pluggable queue policies.
+//!
+//! A policy is consulted whenever the cluster state changes (an arrival or
+//! a completion) and returns the batch of placements to make *now*. It
+//! sees an immutable snapshot of the queue and node occupancy plus the
+//! shared prediction [`Oracle`]; the campaign loop applies the batch and
+//! re-prices affected nodes.
+//!
+//! Four policies ship:
+//!
+//! * [`Fcfs`] — strict first-come-first-served: the queue head is placed
+//!   on the first node with capacity; a blocked head blocks everyone
+//!   behind it. The baseline every HPC batch scheduler starts from.
+//! * [`EasyBackfill`] — FCFS plus EASY backfilling: a blocked head gets a
+//!   shadow reservation at the earliest predicted time capacity frees
+//!   (model-driven runtime predictions), and later jobs may jump the
+//!   queue when they cannot delay that reservation.
+//! * [`Table2Rule`] — the paper's Table II as an online policy: each job
+//!   runs under its classified row's configuration and is placed on the
+//!   least-loaded node with capacity (blocked jobs are skipped, not
+//!   barriers).
+//! * [`InterferenceAware`] — best-fit by predicted co-run damage: every
+//!   candidate node is scored by co-simulating the job against the node's
+//!   residents on the shared device model, and the job joins the node
+//!   where the *marginal aggregate slowdown* (its own plus what it
+//!   inflicts) is smallest — and only if that cost clears an admission
+//!   threshold, because under PMEM contention declining a legal placement
+//!   often beats taking it.
+
+use crate::predict::{Oracle, TenantKey};
+use pmemflow_core::{ExecError, SchedConfig};
+
+/// A job waiting in the queue, as policies see it.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Submission id (arrival order).
+    pub id: u64,
+    /// Workflow display name.
+    pub workflow: String,
+    /// Ranks per component (the per-socket core demand).
+    pub ranks: usize,
+    /// Submission time.
+    pub arrival: f64,
+}
+
+/// A running job, as policies see it.
+#[derive(Debug, Clone)]
+pub struct ResidentView {
+    /// Submission id.
+    pub id: u64,
+    /// Workflow display name.
+    pub workflow: String,
+    /// Ranks per component.
+    pub ranks: usize,
+    /// Configuration it runs under.
+    pub config: SchedConfig,
+    /// Projected completion time at the current interference rate.
+    pub projected_finish: f64,
+}
+
+/// One node's occupancy, as policies see it.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// Node id.
+    pub id: usize,
+    /// Core capacity per socket.
+    pub cores_per_socket: usize,
+    /// Jobs currently running on the node.
+    pub residents: Vec<ResidentView>,
+}
+
+impl NodeView {
+    /// Cores used per socket (every job pins `ranks` writers on one socket
+    /// and `ranks` readers on the other, so both sockets carry the sum).
+    pub fn used_cores(&self) -> usize {
+        self.residents.iter().map(|r| r.ranks).sum()
+    }
+
+    /// Whether a `ranks`-wide job fits right now.
+    pub fn fits(&self, ranks: usize) -> bool {
+        self.used_cores() + ranks <= self.cores_per_socket
+    }
+
+    /// The tenant keys of the residents (for co-run pricing).
+    pub fn resident_keys(&self) -> Vec<TenantKey> {
+        self.residents
+            .iter()
+            .map(|r| TenantKey::new(&r.workflow, r.ranks, r.config))
+            .collect()
+    }
+}
+
+/// A placement decision: start queue entry `job` on `node` under `config`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Submission id of the queued job.
+    pub job: u64,
+    /// Target node.
+    pub node: usize,
+    /// Configuration to run under.
+    pub config: SchedConfig,
+}
+
+/// A queue policy. Implementations must be deterministic: the same
+/// arguments must always produce the same batch.
+pub trait Policy: Send + Sync {
+    /// Short CLI name.
+    fn name(&self) -> &'static str;
+
+    /// Decide which queued jobs to start now. `queue` is in arrival
+    /// order; `nodes` is in id order. The batch must be internally
+    /// consistent (the campaign validates cumulative capacity).
+    fn schedule(
+        &self,
+        now: f64,
+        queue: &[QueuedJob],
+        nodes: &[NodeView],
+        oracle: &Oracle,
+    ) -> Result<Vec<Placement>, ExecError>;
+}
+
+/// Resolve a policy by CLI name.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "fcfs" => Some(Box::new(Fcfs)),
+        "easy" | "easy-backfill" | "backfill" => Some(Box::new(EasyBackfill)),
+        "table2" => Some(Box::new(Table2Rule)),
+        "interference" | "interference-aware" => Some(Box::new(InterferenceAware::default())),
+        _ => None,
+    }
+}
+
+/// Valid `--policy` names for error messages and help text.
+pub const POLICY_CHOICES: &str = "fcfs, easy, table2, interference, all";
+
+/// All four policies in comparison order.
+pub fn all_policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(Fcfs),
+        Box::new(EasyBackfill),
+        Box::new(Table2Rule),
+        Box::new(InterferenceAware::default()),
+    ]
+}
+
+/// Mutable occupancy scratch the policies plan cumulative batches with.
+struct PlanState {
+    used: Vec<usize>,
+    cap: usize,
+}
+
+impl PlanState {
+    fn new(nodes: &[NodeView]) -> PlanState {
+        PlanState {
+            used: nodes.iter().map(NodeView::used_cores).collect(),
+            cap: nodes.first().map_or(0, |n| n.cores_per_socket),
+        }
+    }
+
+    fn fits(&self, node: usize, ranks: usize) -> bool {
+        self.used[node] + ranks <= self.cap
+    }
+
+    fn first_fit(&self, ranks: usize) -> Option<usize> {
+        (0..self.used.len()).find(|&n| self.fits(n, ranks))
+    }
+
+    /// Least-loaded node with room; ties go to the lowest id.
+    fn least_loaded_fit(&self, ranks: usize) -> Option<usize> {
+        (0..self.used.len())
+            .filter(|&n| self.fits(n, ranks))
+            .min_by_key(|&n| self.used[n])
+    }
+
+    fn place(&mut self, node: usize, ranks: usize) {
+        self.used[node] += ranks;
+    }
+}
+
+/// Strict first-come-first-served (see module docs).
+pub struct Fcfs;
+
+impl Policy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn schedule(
+        &self,
+        _now: f64,
+        queue: &[QueuedJob],
+        nodes: &[NodeView],
+        oracle: &Oracle,
+    ) -> Result<Vec<Placement>, ExecError> {
+        let mut plan = PlanState::new(nodes);
+        let mut batch = Vec::new();
+        for job in queue {
+            let Some(node) = plan.first_fit(job.ranks) else {
+                break; // head-of-line blocking: nobody may overtake
+            };
+            plan.place(node, job.ranks);
+            batch.push(Placement {
+                job: job.id,
+                node,
+                config: oracle.best_config(&job.workflow, job.ranks),
+            });
+        }
+        Ok(batch)
+    }
+}
+
+/// EASY backfilling over FCFS (see module docs).
+pub struct EasyBackfill;
+
+impl Policy for EasyBackfill {
+    fn name(&self) -> &'static str {
+        "easy"
+    }
+
+    fn schedule(
+        &self,
+        now: f64,
+        queue: &[QueuedJob],
+        nodes: &[NodeView],
+        oracle: &Oracle,
+    ) -> Result<Vec<Placement>, ExecError> {
+        let mut plan = PlanState::new(nodes);
+        let mut batch = Vec::new();
+        let mut rest = queue;
+        // FCFS prefix: place heads while they fit.
+        while let Some(job) = rest.first() {
+            let Some(node) = plan.first_fit(job.ranks) else {
+                break;
+            };
+            plan.place(node, job.ranks);
+            batch.push(Placement {
+                job: job.id,
+                node,
+                config: oracle.best_config(&job.workflow, job.ranks),
+            });
+            rest = &rest[1..];
+        }
+        let Some(head) = rest.first() else {
+            return Ok(batch);
+        };
+        // Shadow reservation for the blocked head: per node, the earliest
+        // time enough residents are predicted to have finished. Jobs just
+        // placed in the prefix are pessimistically assumed to run to the
+        // end of the shadow horizon (they only just started).
+        let mut shadow_node = 0usize;
+        let mut shadow_time = f64::INFINITY;
+        for node in nodes {
+            if plan.used[node.id] > node.cores_per_socket {
+                continue;
+            }
+            let mut finishes: Vec<(f64, usize)> = node
+                .residents
+                .iter()
+                .map(|r| (r.projected_finish, r.ranks))
+                .collect();
+            finishes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut t = now;
+            let mut free = node.cores_per_socket - plan.used[node.id];
+            let mut fits_at = None;
+            if free >= head.ranks {
+                fits_at = Some(t);
+            }
+            for (finish, ranks) in finishes {
+                if fits_at.is_some() {
+                    break;
+                }
+                free += ranks;
+                t = finish.max(now);
+                if free >= head.ranks {
+                    fits_at = Some(t);
+                }
+            }
+            if let Some(t) = fits_at {
+                if t < shadow_time {
+                    shadow_time = t;
+                    shadow_node = node.id;
+                }
+            }
+        }
+        // Backfill pass: later jobs may start now when they fit and cannot
+        // delay the reservation — on the shadow node only if predicted to
+        // finish by the shadow time, elsewhere freely.
+        for job in &rest[1..] {
+            let config = oracle.best_config(&job.workflow, job.ranks);
+            let predicted_end = now + oracle.solo_runtime(&job.workflow, job.ranks, config);
+            let candidate = (0..nodes.len())
+                .filter(|&n| plan.fits(n, job.ranks))
+                .find(|&n| n != shadow_node || predicted_end <= shadow_time);
+            if let Some(node) = candidate {
+                plan.place(node, job.ranks);
+                batch.push(Placement {
+                    job: job.id,
+                    node,
+                    config,
+                });
+            }
+        }
+        Ok(batch)
+    }
+}
+
+/// Table II rule-based placement (see module docs).
+pub struct Table2Rule;
+
+impl Policy for Table2Rule {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn schedule(
+        &self,
+        _now: f64,
+        queue: &[QueuedJob],
+        nodes: &[NodeView],
+        oracle: &Oracle,
+    ) -> Result<Vec<Placement>, ExecError> {
+        let mut plan = PlanState::new(nodes);
+        let mut batch = Vec::new();
+        for job in queue {
+            let Some(node) = plan.least_loaded_fit(job.ranks) else {
+                continue; // list scheduling: skip blocked jobs
+            };
+            plan.place(node, job.ranks);
+            batch.push(Placement {
+                job: job.id,
+                node,
+                config: oracle.table2_config(&job.workflow, job.ranks),
+            });
+        }
+        Ok(batch)
+    }
+}
+
+/// Interference-aware best fit (see module docs).
+pub struct InterferenceAware {
+    /// Largest acceptable marginal aggregate slowdown for a non-head job
+    /// to join a node. A lone tenant costs exactly 1.0, so the default
+    /// allows co-location only while the *total* added stretch (the job's
+    /// own plus what it inflicts on residents) stays below one extra
+    /// job-equivalent. The queue head is exempt — it always takes the
+    /// cheapest node, so nothing starves.
+    pub max_marginal: f64,
+}
+
+impl Default for InterferenceAware {
+    fn default() -> InterferenceAware {
+        InterferenceAware { max_marginal: 2.0 }
+    }
+}
+
+impl Policy for InterferenceAware {
+    fn name(&self) -> &'static str {
+        "interference"
+    }
+
+    fn schedule(
+        &self,
+        _now: f64,
+        queue: &[QueuedJob],
+        nodes: &[NodeView],
+        oracle: &Oracle,
+    ) -> Result<Vec<Placement>, ExecError> {
+        let mut plan = PlanState::new(nodes);
+        // Track this batch's own placements so scoring sees them too.
+        let mut planned: Vec<Vec<TenantKey>> = nodes.iter().map(NodeView::resident_keys).collect();
+        let mut batch = Vec::new();
+        for (qi, job) in queue.iter().enumerate() {
+            let config = oracle.best_config(&job.workflow, job.ranks);
+            let key = TenantKey::new(&job.workflow, job.ranks, config);
+            let mut best: Option<(f64, usize, usize)> = None; // (cost, used, node)
+            for (node, residents) in planned.iter().enumerate() {
+                if !plan.fits(node, job.ranks) {
+                    continue;
+                }
+                // Marginal aggregate cost of joining this node: the job's
+                // own slowdown plus the extra slowdown it inflicts on the
+                // planned residents. Scoring only the incoming job's side
+                // over-packs — a newcomer can run nearly unharmed while
+                // wrecking a bandwidth-bound resident.
+                let before: f64 = oracle.corun_slowdowns(residents)?.iter().sum();
+                let mut set = residents.clone();
+                set.push(key.clone());
+                let after: f64 = oracle.corun_slowdowns(&set)?.iter().sum();
+                let score = (after - before, plan.used[node], node);
+                if best.is_none_or(|b| score < b) {
+                    best = Some(score);
+                }
+            }
+            let Some((cost, _, node)) = best else {
+                continue; // skip blocked jobs, like table2
+            };
+            // Non-head jobs may not join when the co-location damage
+            // outweighs the service: waiting for a cheaper slot beats
+            // inflating everyone's runtime.
+            if qi > 0 && cost > self.max_marginal {
+                continue;
+            }
+            plan.place(node, job.ranks);
+            planned[node].push(key);
+            batch.push(Placement {
+                job: job.id,
+                node,
+                config,
+            });
+        }
+        Ok(batch)
+    }
+}

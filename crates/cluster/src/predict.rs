@@ -1,0 +1,240 @@
+//! Prediction services the queue policies share.
+//!
+//! Two caches, both deterministic:
+//!
+//! * **Solo sweeps** — for every workload in the stream's alphabet, all
+//!   four Table I configurations are simulated up front (in parallel over
+//!   [`pmemflow_core::map_ordered`], so `--jobs` changes wall time but
+//!   never results) together with the Table II characterization. Policies
+//!   read the model-driven best configuration, per-config runtime
+//!   predictions (the EASY-backfill reservation estimate), and the
+//!   [`WorkflowProfile`] the Table II policy classifies.
+//! * **Co-run pricing** — the predicted slowdown of every tenant of a
+//!   candidate resident set, from [`execute_coscheduled_with_baselines`]
+//!   over the real device model. Keyed by the multiset of
+//!   `(workflow, ranks, config)`, so a campaign only ever simulates each
+//!   distinct co-residency once.
+
+use pmemflow_core::{
+    execute_coscheduled_with_baselines, map_ordered, sweep, ConfigSweep, ExecError,
+    ExecutionParams, SchedConfig, Tenant,
+};
+use pmemflow_sched::{characterize, classify, recommend, RuleThresholds, WorkflowProfile};
+use pmemflow_workloads::WorkflowSpec;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Identity of a tenant for pricing purposes: everything that affects the
+/// device model sees of it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantKey {
+    /// Workflow display name.
+    pub workflow: String,
+    /// Ranks per component.
+    pub ranks: usize,
+    /// Configuration label (Table I).
+    pub config: &'static str,
+}
+
+impl TenantKey {
+    /// Build a key.
+    pub fn new(workflow: &str, ranks: usize, config: SchedConfig) -> TenantKey {
+        TenantKey {
+            workflow: workflow.to_string(),
+            ranks,
+            config: config.label(),
+        }
+    }
+}
+
+struct AlphabetEntry {
+    spec: WorkflowSpec,
+    sweep: ConfigSweep,
+    profile: WorkflowProfile,
+}
+
+/// The shared prediction oracle (see module docs).
+pub struct Oracle {
+    entries: BTreeMap<(String, usize), AlphabetEntry>,
+    corun: Mutex<BTreeMap<Vec<TenantKey>, Vec<f64>>>,
+    exec: ExecutionParams,
+}
+
+impl Oracle {
+    /// Characterize every workload of `alphabet` with up to `jobs`
+    /// parallel simulations. Results are independent of `jobs`.
+    pub fn build(
+        alphabet: &[(String, usize, WorkflowSpec)],
+        exec: &ExecutionParams,
+        jobs: usize,
+    ) -> Result<Oracle, ExecError> {
+        let items: Vec<(String, usize, WorkflowSpec)> = alphabet.to_vec();
+        let results = map_ordered(items, jobs, |(_, _, spec)| {
+            let sw = sweep(spec, exec)?;
+            let profile = characterize(spec, exec)?;
+            Ok::<(ConfigSweep, WorkflowProfile), ExecError>((sw, profile))
+        });
+        let mut entries = BTreeMap::new();
+        for ((name, ranks, spec), result) in alphabet.iter().cloned().zip(results) {
+            let (sweep, profile) = result
+                .map_err(|panic| ExecError::Spec(format!("characterization panicked: {panic}")))?
+                .map_err(|e| ExecError::Spec(format!("characterizing {name}@{ranks}: {e}")))?;
+            entries.insert(
+                (name, ranks),
+                AlphabetEntry {
+                    spec,
+                    sweep,
+                    profile,
+                },
+            );
+        }
+        Ok(Oracle {
+            entries,
+            corun: Mutex::new(BTreeMap::new()),
+            exec: exec.clone(),
+        })
+    }
+
+    fn entry(&self, workflow: &str, ranks: usize) -> &AlphabetEntry {
+        self.entries
+            .get(&(workflow.to_string(), ranks))
+            .unwrap_or_else(|| panic!("{workflow}@{ranks} not in the campaign alphabet"))
+    }
+
+    /// The model-driven best configuration for a workload (argmin over the
+    /// four simulated configurations).
+    pub fn best_config(&self, workflow: &str, ranks: usize) -> SchedConfig {
+        self.entry(workflow, ranks).sweep.best().config
+    }
+
+    /// Predicted solo runtime under a specific configuration.
+    pub fn solo_runtime(&self, workflow: &str, ranks: usize, config: SchedConfig) -> f64 {
+        self.entry(workflow, ranks).sweep.run(config).total
+    }
+
+    /// The Table II recommendation: the matching table row's configuration
+    /// when one exists, otherwise the rule engine's pick.
+    pub fn table2_config(&self, workflow: &str, ranks: usize) -> SchedConfig {
+        let profile = &self.entry(workflow, ranks).profile;
+        match classify(profile) {
+            Some(row) => row.config,
+            None => recommend(profile, &RuleThresholds::default()).config,
+        }
+    }
+
+    /// The built workflow for a stream entry.
+    pub fn spec(&self, workflow: &str, ranks: usize) -> &WorkflowSpec {
+        &self.entry(workflow, ranks).spec
+    }
+
+    /// Predicted per-tenant slowdowns of co-running `set` on one node, in
+    /// input order. A singleton never interferes with itself (1.0, no
+    /// simulation); larger sets are priced by co-simulating the full set
+    /// against the shared device model, memoized on the multiset of keys.
+    pub fn corun_slowdowns(&self, set: &[TenantKey]) -> Result<Vec<f64>, ExecError> {
+        if set.len() <= 1 {
+            return Ok(vec![1.0; set.len()]);
+        }
+        // Canonical order: sort keys; remember where each input key went.
+        let mut order: Vec<usize> = (0..set.len()).collect();
+        order.sort_by(|&a, &b| set[a].cmp(&set[b]));
+        let canonical: Vec<TenantKey> = order.iter().map(|&i| set[i].clone()).collect();
+
+        let cached = self.corun.lock().unwrap().get(&canonical).cloned();
+        let slowdowns = match cached {
+            Some(s) => s,
+            None => {
+                let tenants: Vec<Tenant> = canonical
+                    .iter()
+                    .map(|k| Tenant {
+                        spec: self.entry(&k.workflow, k.ranks).spec.clone(),
+                        config: SchedConfig::parse(k.config).expect("key holds a valid label"),
+                    })
+                    .collect();
+                let baselines: Vec<f64> = canonical
+                    .iter()
+                    .map(|k| {
+                        self.solo_runtime(
+                            &k.workflow,
+                            k.ranks,
+                            SchedConfig::parse(k.config).expect("key holds a valid label"),
+                        )
+                    })
+                    .collect();
+                let out =
+                    execute_coscheduled_with_baselines(&tenants, &self.exec, Some(&baselines))?;
+                let s: Vec<f64> = out.breakdown.iter().map(|b| b.slowdown).collect();
+                self.corun
+                    .lock()
+                    .unwrap()
+                    .insert(canonical.clone(), s.clone());
+                s
+            }
+        };
+        // Un-permute back to input order.
+        let mut result = vec![0.0; set.len()];
+        for (canon_pos, &input_pos) in order.iter().enumerate() {
+            result[input_pos] = slowdowns[canon_pos];
+        }
+        Ok(result)
+    }
+
+    /// Number of distinct co-residency sets priced so far (diagnostics).
+    pub fn corun_cache_len(&self) -> usize {
+        self.corun.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmemflow_workloads::Family;
+
+    fn tiny_alphabet() -> Vec<(String, usize, WorkflowSpec)> {
+        [(Family::Micro64MB, 8usize), (Family::Micro2KB, 8usize)]
+            .into_iter()
+            .map(|(f, r)| (f.name().to_string(), r, f.build(r)))
+            .collect()
+    }
+
+    #[test]
+    fn oracle_predictions_are_job_count_invariant() {
+        let exec = ExecutionParams::default();
+        let a = Oracle::build(&tiny_alphabet(), &exec, 1).unwrap();
+        let b = Oracle::build(&tiny_alphabet(), &exec, 4).unwrap();
+        for (name, ranks, _) in tiny_alphabet() {
+            assert_eq!(a.best_config(&name, ranks), b.best_config(&name, ranks));
+            for c in SchedConfig::ALL {
+                assert_eq!(
+                    a.solo_runtime(&name, ranks, c).to_bits(),
+                    b.solo_runtime(&name, ranks, c).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corun_pricing_is_order_insensitive_and_cached() {
+        let exec = ExecutionParams::default();
+        let oracle = Oracle::build(&tiny_alphabet(), &exec, 2).unwrap();
+        let a = TenantKey::new("micro-64MB", 8, SchedConfig::S_LOC_W);
+        let b = TenantKey::new("micro-2KB", 8, SchedConfig::P_LOC_R);
+        let ab = oracle.corun_slowdowns(&[a.clone(), b.clone()]).unwrap();
+        let ba = oracle.corun_slowdowns(&[b, a]).unwrap();
+        assert_eq!(ab[0].to_bits(), ba[1].to_bits());
+        assert_eq!(ab[1].to_bits(), ba[0].to_bits());
+        assert_eq!(oracle.corun_cache_len(), 1, "one multiset, one sim");
+        for s in ab {
+            assert!(s >= 0.99, "slowdown {s}");
+        }
+    }
+
+    #[test]
+    fn singletons_never_interfere() {
+        let exec = ExecutionParams::default();
+        let oracle = Oracle::build(&tiny_alphabet(), &exec, 2).unwrap();
+        let k = TenantKey::new("micro-64MB", 8, SchedConfig::S_LOC_W);
+        assert_eq!(oracle.corun_slowdowns(&[k]).unwrap(), vec![1.0]);
+        assert_eq!(oracle.corun_cache_len(), 0);
+    }
+}

@@ -26,6 +26,28 @@ pub struct Tenant {
     pub config: SchedConfig,
 }
 
+/// Per-tenant attribution of a co-scheduled execution: who ran what,
+/// when it finished, and how much the shared device slowed it down.
+#[derive(Debug, Clone)]
+pub struct TenantBreakdown {
+    /// Index of the tenant in the input slice.
+    pub index: usize,
+    /// Workflow name.
+    pub workflow: String,
+    /// The configuration the tenant ran under.
+    pub config: SchedConfig,
+    /// Instant the tenant was admitted (all tenants of one co-scheduled
+    /// execution start together at t = 0).
+    pub start: f64,
+    /// Instant the tenant's last rank finished.
+    pub end: f64,
+    /// The tenant's runtime running alone on the node, seconds.
+    pub solo_total: f64,
+    /// `(end - start) / solo_total` — the price of sharing the device
+    /// (≥ ~1).
+    pub slowdown: f64,
+}
+
 /// Result of a co-scheduled execution.
 #[derive(Debug, Clone)]
 pub struct CoScheduleOutcome {
@@ -37,6 +59,8 @@ pub struct CoScheduleOutcome {
     /// Per-tenant slowdown versus running alone on the node
     /// (`coscheduled_total / solo_total`, ≥ ~1).
     pub interference: Vec<f64>,
+    /// Structured per-tenant attribution (same order as `tenants`).
+    pub breakdown: Vec<TenantBreakdown>,
 }
 
 /// Execute all `tenants` concurrently on one node, sharing the PMEM
@@ -45,8 +69,31 @@ pub fn execute_coscheduled(
     tenants: &[Tenant],
     params: &ExecutionParams,
 ) -> Result<CoScheduleOutcome, ExecError> {
+    execute_coscheduled_with_baselines(tenants, params, None)
+}
+
+/// [`execute_coscheduled`] with optional precomputed solo runtimes.
+///
+/// Callers that already know each tenant's solo runtime (e.g. a cluster
+/// scheduler holding a per-workload sweep cache) pass them as `baselines`
+/// (input order) and skip the per-tenant solo simulations this function
+/// would otherwise run to compute interference factors.
+pub fn execute_coscheduled_with_baselines(
+    tenants: &[Tenant],
+    params: &ExecutionParams,
+    baselines: Option<&[f64]>,
+) -> Result<CoScheduleOutcome, ExecError> {
     if tenants.is_empty() {
         return Err(ExecError::Spec("no tenants".into()));
+    }
+    if let Some(b) = baselines {
+        if b.len() != tenants.len() {
+            return Err(ExecError::Spec(format!(
+                "{} baselines for {} tenants",
+                b.len(),
+                tenants.len()
+            )));
+        }
     }
     // Capacity check: ranks per socket across tenants.
     let mut per_socket = [0usize; 2];
@@ -70,23 +117,44 @@ pub fn execute_coscheduled(
         }
     }
 
-    // Solo baselines for the interference factors.
-    let mut solo = Vec::with_capacity(tenants.len());
-    for t in tenants {
-        solo.push(crate::executor::execute(&t.spec, t.config, params)?.total);
-    }
+    // Solo baselines for the interference factors (simulated unless the
+    // caller already has them).
+    let solo = match baselines {
+        Some(b) => b.to_vec(),
+        None => {
+            let mut solo = Vec::with_capacity(tenants.len());
+            for t in tenants {
+                solo.push(crate::executor::execute(&t.spec, t.config, params)?.total);
+            }
+            solo
+        }
+    };
 
     let metrics = crate::executor::execute_many(tenants, params)?;
     let makespan = metrics.iter().map(|m| m.total).fold(0.0f64, f64::max);
-    let interference = metrics
+    let interference: Vec<f64> = metrics
         .iter()
         .zip(solo.iter())
         .map(|(m, s)| m.total / s)
+        .collect();
+    let breakdown = tenants
+        .iter()
+        .enumerate()
+        .map(|(index, t)| TenantBreakdown {
+            index,
+            workflow: t.spec.name.clone(),
+            config: t.config,
+            start: 0.0,
+            end: metrics[index].total,
+            solo_total: solo[index],
+            slowdown: interference[index],
+        })
         .collect();
     Ok(CoScheduleOutcome {
         tenants: metrics,
         makespan,
         interference,
+        breakdown,
     })
 }
 
@@ -173,6 +241,54 @@ mod tests {
     fn empty_tenant_list_rejected() {
         assert!(matches!(
             execute_coscheduled(&[], &params()),
+            Err(ExecError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn breakdown_attributes_each_tenant() {
+        let tenants = vec![
+            Tenant {
+                spec: micro_64mb(8),
+                config: SchedConfig::S_LOC_W,
+            },
+            Tenant {
+                spec: micro_2kb(8),
+                config: SchedConfig::P_LOC_R,
+            },
+        ];
+        let out = execute_coscheduled(&tenants, &ExecutionParams::default()).unwrap();
+        assert_eq!(out.breakdown.len(), 2);
+        for (i, b) in out.breakdown.iter().enumerate() {
+            assert_eq!(b.index, i);
+            assert_eq!(b.workflow, tenants[i].spec.name);
+            assert_eq!(b.config, tenants[i].config);
+            assert_eq!(b.start, 0.0);
+            assert!((b.end - out.tenants[i].total).abs() < 1e-12);
+            assert!((b.slowdown - out.interference[i]).abs() < 1e-12);
+            assert!((b.end / b.solo_total - b.slowdown).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn provided_baselines_skip_solo_runs_and_scale_slowdowns() {
+        let tenants = vec![Tenant {
+            spec: micro_2kb(8),
+            config: SchedConfig::P_LOC_R,
+        }];
+        let solo = crate::executor::execute(&tenants[0].spec, tenants[0].config, &params())
+            .unwrap()
+            .total;
+        let from_sim = execute_coscheduled(&tenants, &params()).unwrap();
+        let from_cache =
+            execute_coscheduled_with_baselines(&tenants, &params(), Some(&[solo])).unwrap();
+        assert_eq!(
+            from_sim.interference[0].to_bits(),
+            from_cache.interference[0].to_bits()
+        );
+        // A wrong-length baseline slice is a spec error.
+        assert!(matches!(
+            execute_coscheduled_with_baselines(&tenants, &params(), Some(&[solo, solo])),
             Err(ExecError::Spec(_))
         ));
     }

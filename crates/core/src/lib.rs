@@ -30,9 +30,14 @@ pub mod report;
 pub mod runner;
 
 pub use config::{ExecMode, Placement, SchedConfig};
-pub use coschedule::{execute_coscheduled, CoScheduleOutcome, Tenant};
+pub use coschedule::{
+    execute_coscheduled, execute_coscheduled_with_baselines, CoScheduleOutcome, Tenant,
+    TenantBreakdown,
+};
 pub use executor::{
     execute, execute_component_standalone, sweep, ExecError, ExecutionParams, StandaloneReport,
 };
 pub use metrics::{ComponentMetrics, ConfigSweep, RunMetrics};
-pub use runner::{full_matrix, map_ordered, run_matrix, RunOutcome, RunRequest};
+pub use runner::{
+    full_matrix, json_escape, json_f64, map_ordered, run_matrix, RunOutcome, RunRequest,
+};

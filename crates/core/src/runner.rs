@@ -164,7 +164,7 @@ pub fn full_matrix() -> Vec<RunRequest> {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -184,7 +184,7 @@ fn json_escape(s: &str) -> String {
 
 /// Format an `f64` as a JSON number (JSON has no NaN/Infinity; those
 /// degrade to null).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -13,6 +13,7 @@
 //! | [`workloads`] | the paper's 18-workload suite + real proxy kernels |
 //! | [`core`] | Table I configurations, workflow executor, metrics, native mode |
 //! | [`sched`] | rule-based / model-driven / adaptive PMEM-aware schedulers |
+//! | [`cluster`] | online multi-node campaign scheduling over arrival streams |
 //!
 //! This facade re-exports each crate under a short name and the most
 //! common types at the top level.
@@ -35,6 +36,7 @@
 
 pub mod cli;
 
+pub use pmemflow_cluster as cluster;
 pub use pmemflow_core as core;
 pub use pmemflow_des as des;
 pub use pmemflow_iostack as iostack;

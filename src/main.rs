@@ -7,6 +7,8 @@
 //! pmemflow plan         --workload gtc-matmult --deadline 30 --candidates 8,16,24
 //! pmemflow gantt        --workload micro-64mb --ranks 8 --config P-LocW [--chrome out.json]
 //! pmemflow suite        [--jobs N] [--out runs.jsonl] [--trace-dir DIR]
+//! pmemflow cluster      --nodes 4 --policy interference --arrivals poisson:rate=0.01,n=200 \
+//!                       --seed 42 [--jobs N] [--out campaign.jsonl]
 //! pmemflow devicebench
 //! pmemflow help
 //! ```
@@ -15,11 +17,16 @@ use pmemflow::cli::{
     config_by_name, parse_rank_list, stack_by_name, workload_by_name, Args, CliError,
     WORKLOAD_CHOICES,
 };
+use pmemflow::cluster::{
+    all_policies, policy_by_name, run_campaign_with_oracle, ArrivalSpec, CampaignConfig, Oracle,
+    POLICY_CHOICES,
+};
 use pmemflow::core::report::panel_table;
 use pmemflow::pmem::{bandwidth_table, headline_ratios, DeviceProfile, GB};
 use pmemflow::sched::{characterize, classify, plan, recommend, RuleThresholds};
 use pmemflow::{
-    decide, execute, full_matrix, paper_suite, run_matrix, sweep, ExecutionParams, SchedConfig,
+    decide, execute, full_matrix, map_ordered, paper_suite, run_matrix, sweep, ExecutionParams,
+    SchedConfig,
 };
 use std::process::ExitCode;
 
@@ -46,6 +53,16 @@ COMMANDS:
                   --jobs N          parallel simulations (default: cores)
                   --out FILE        one JSON record per run (JSON Lines)
                   --trace-dir DIR   Chrome trace-event JSON per run
+  cluster       serve a workflow arrival stream over N modeled nodes
+                  --nodes N         cluster size (default 4)
+                  --policy P        fcfs | easy | table2 | interference | all
+                                    (default fcfs; `all` compares every policy)
+                  --arrivals SPEC   poisson:rate=R,n=N[,mix=...]
+                                    closed:clients=C,think=T,n=N[,mix=...]
+                                    trace:FILE  (default poisson:rate=0.01,n=24,mix=micro)
+                  --seed S          arrival-stream seed (default 42)
+                  --jobs N          parallel prediction sims (default: cores)
+                  --out FILE        per-job + campaign records (JSON Lines)
   devicebench   print the modeled §II-B device characterization
   help          this text
 
@@ -265,6 +282,88 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 "{} runs ({failures} failed) over {jobs} worker(s); {wall:.2}s total simulation wall time",
                 outcomes.len()
             );
+        }
+        "cluster" => {
+            let nodes: usize = args.get_parse("nodes", 4, "a positive node count")?;
+            if nodes == 0 {
+                return Err(CliError::BadValue {
+                    option: "nodes".into(),
+                    value: "0".into(),
+                    expected: "a positive node count",
+                }
+                .into());
+            }
+            let jobs: usize = args.get_parse(
+                "jobs",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+                "a positive worker count",
+            )?;
+            if jobs == 0 {
+                return Err(CliError::BadValue {
+                    option: "jobs".into(),
+                    value: "0".into(),
+                    expected: "a positive worker count",
+                }
+                .into());
+            }
+            let seed: u64 = args.get_parse("seed", 42, "an unsigned seed")?;
+            let spec = args
+                .get("arrivals")
+                .unwrap_or("poisson:rate=0.01,n=24,mix=micro");
+            let arrivals = ArrivalSpec::parse(spec).map_err(|e| CliError::BadValue {
+                option: "arrivals".into(),
+                value: format!("{spec}: {e}"),
+                expected: "poisson:rate=R,n=N | closed:clients=C,think=T,n=N | trace:FILE",
+            })?;
+            let policy_name = args.get("policy").unwrap_or("fcfs");
+            let policies = if policy_name.eq_ignore_ascii_case("all") {
+                all_policies()
+            } else {
+                vec![policy_by_name(policy_name).ok_or(CliError::UnknownName {
+                    kind: "policy",
+                    value: policy_name.into(),
+                    choices: POLICY_CHOICES,
+                })?]
+            };
+
+            let config = CampaignConfig {
+                nodes,
+                arrivals,
+                seed,
+                exec: params.clone(),
+            };
+            let oracle = Oracle::build(&config.arrivals.alphabet(), &config.exec, jobs)?;
+            // `map_ordered` fans the campaigns out but keeps results in
+            // policy order, so output is identical for any --jobs.
+            let outcomes = map_ordered(policies, jobs, |policy| {
+                run_campaign_with_oracle(&config, policy.as_ref(), &oracle)
+            });
+
+            let mut jsonl = String::new();
+            println!(
+                "policy        jobs  makespan_s  mean_wait_s  p95_wait_s  mean_bsld  max_bsld  util"
+            );
+            for outcome in outcomes {
+                let o = outcome.map_err(|panic| format!("campaign panicked: {panic}"))??;
+                let util = o.utilization();
+                let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
+                println!(
+                    "{:<12} {:>5}  {:>10.1}  {:>11.1}  {:>10.1}  {:>9.2}  {:>8.2}  {:>4.0}%",
+                    o.policy,
+                    o.jobs.len(),
+                    o.makespan,
+                    o.mean_wait(),
+                    o.p95_wait(),
+                    o.mean_bounded_slowdown(),
+                    o.max_bounded_slowdown(),
+                    mean_util * 100.0
+                );
+                jsonl.push_str(&o.to_jsonl());
+            }
+            if let Some(path) = args.get("out") {
+                std::fs::write(path, &jsonl)?;
+                println!("campaign records written to {path}");
+            }
         }
         "devicebench" => {
             let profile = DeviceProfile::optane_gen1();
