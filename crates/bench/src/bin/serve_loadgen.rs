@@ -1,0 +1,303 @@
+//! Load generator for the `pmemflow_serve` daemon.
+//!
+//! Boots an in-process server, then drives a **seeded, Zipf-skewed**
+//! query stream at it over real loopback TCP with keep-alive, closed-loop
+//! clients — the access pattern of a cluster scheduler that keeps asking
+//! about the same popular workloads. Two passes over the *identical*
+//! request sequence:
+//!
+//! * **cold** — empty cache: most requests pay for simulations (or
+//!   coalesce onto one);
+//! * **warm** — same sequence again: everything should hit the result
+//!   cache at microsecond latencies.
+//!
+//! Reports throughput and p50/p99 latency for both passes, the warm/cold
+//! speedup, and the cache hit rate — and cross-checks that every response
+//! body is **byte-identical** between the passes and across `--workers 1`
+//! vs `--workers N` servers for the same seed.
+//!
+//! ```text
+//! serve_loadgen [--requests N] [--clients C] [--workers W] [--seed S]
+//! ```
+
+use pmemflow_des::rng::SplitMix64;
+use pmemflow_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One query of the universe: an endpoint plus a JSON body.
+#[derive(Clone)]
+struct LoadQuery {
+    path: &'static str,
+    body: String,
+}
+
+/// The query universe the Zipf stream draws from: every family at two
+/// rank counts across three endpoints, plus co-schedule pairs. Popular
+/// entries (low index) dominate under Zipf — exactly the redundancy the
+/// cache and single-flight are built to exploit.
+fn universe() -> Vec<LoadQuery> {
+    let families = [
+        "micro-2kb",
+        "micro-64mb",
+        "gtc-readonly",
+        "gtc-matmult",
+        "miniamr-readonly",
+        "miniamr-matmult",
+    ];
+    let mut queries = Vec::new();
+    for ranks in [8usize, 16] {
+        for family in families {
+            for path in ["/v1/predict", "/v1/sweep", "/v1/recommend"] {
+                queries.push(LoadQuery {
+                    path,
+                    body: format!("{{\"workload\":\"{family}\",\"ranks\":{ranks}}}"),
+                });
+            }
+        }
+    }
+    for (a, b) in [
+        ("micro-2kb", "micro-64mb"),
+        ("gtc-readonly", "miniamr-matmult"),
+    ] {
+        queries.push(LoadQuery {
+            path: "/v1/coschedule",
+            body: format!(
+                "{{\"tenants\":[{{\"workload\":\"{a}\",\"ranks\":8,\"config\":\"S-LocW\"}},\
+                 {{\"workload\":\"{b}\",\"ranks\":8,\"config\":\"P-LocR\"}}]}}"
+            ),
+        });
+    }
+    queries
+}
+
+/// Zipf(s) sampler over `n` items by inverse-CDF binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn http_exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    q: &LoadQuery,
+) -> (u16, String) {
+    stream
+        .write_all(
+            format!(
+                "POST {} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                q.path,
+                q.body.len(),
+                q.body
+            )
+            .as_bytes(),
+        )
+        .expect("request written");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().expect("content length");
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+struct PassStats {
+    elapsed: Duration,
+    latencies_us: Vec<u64>,
+    bodies: Vec<String>, // per sequence position
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len()) - 1;
+    sorted_us[idx] as f64 / 1e3
+}
+
+/// Replay `sequence` (indices into `queries`) with `clients` closed-loop
+/// keep-alive connections.
+fn run_pass(
+    addr: SocketAddr,
+    queries: &[LoadQuery],
+    sequence: &[usize],
+    clients: usize,
+) -> PassStats {
+    let next = AtomicUsize::new(0);
+    let bodies: Vec<Mutex<String>> = sequence.iter().map(|_| Mutex::new(String::new())).collect();
+    let latencies = Mutex::new(Vec::with_capacity(sequence.len()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(|| {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut local_lat = Vec::new();
+                loop {
+                    let pos = next.fetch_add(1, Relaxed);
+                    if pos >= sequence.len() {
+                        break;
+                    }
+                    let q = &queries[sequence[pos]];
+                    let t0 = Instant::now();
+                    let (status, body) = http_exchange(&mut stream, &mut reader, q);
+                    local_lat.push(t0.elapsed().as_micros() as u64);
+                    assert_eq!(status, 200, "{}: {body}", q.path);
+                    *bodies[pos].lock().unwrap() = body;
+                }
+                latencies.lock().unwrap().extend(local_lat);
+            });
+        }
+    });
+    PassStats {
+        elapsed: started.elapsed(),
+        latencies_us: latencies.into_inner().unwrap(),
+        bodies: bodies
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    }
+}
+
+fn report(label: &str, stats: &PassStats) -> f64 {
+    let mut sorted = stats.latencies_us.clone();
+    sorted.sort_unstable();
+    let throughput = stats.bodies.len() as f64 / stats.elapsed.as_secs_f64();
+    println!(
+        "{label:<5}  {:>6} req in {:>7.3}s = {:>9.1} req/s   p50 {:>8.3}ms  p99 {:>8.3}ms",
+        stats.bodies.len(),
+        stats.elapsed.as_secs_f64(),
+        throughput,
+        quantile(&sorted, 0.50),
+        quantile(&sorted, 0.99),
+    );
+    throughput
+}
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let requests: usize = arg("--requests", 400);
+    let clients: usize = arg("--clients", 4);
+    let workers: usize = arg("--workers", 2);
+    let seed: u64 = arg("--seed", 42);
+
+    let queries = universe();
+    let zipf = Zipf::new(queries.len(), 1.1);
+    let mut rng = SplitMix64::new(seed);
+    let sequence: Vec<usize> = (0..requests).map(|_| zipf.sample(&mut rng)).collect();
+    let distinct: std::collections::BTreeSet<usize> = sequence.iter().copied().collect();
+
+    println!(
+        "serve_loadgen: {requests} requests over {} distinct queries (universe {}), \
+         Zipf s=1.1 seed {seed}, {clients} client(s), {workers} worker(s)\n",
+        distinct.len(),
+        queries.len()
+    );
+
+    let server = Server::start(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("server boots");
+    let addr = server.addr();
+
+    let cold = run_pass(addr, &queries, &sequence, clients);
+    let cold_tput = report("cold", &cold);
+    let warm = run_pass(addr, &queries, &sequence, clients);
+    let warm_tput = report("warm", &warm);
+
+    for (pos, (c, w)) in cold.bodies.iter().zip(&warm.bodies).enumerate() {
+        assert_eq!(c, w, "response #{pos} changed between cold and warm");
+    }
+
+    let m = server.metrics();
+    let hits = m.cache_hits.load(Relaxed);
+    let misses = m.cache_misses.load(Relaxed);
+    let coalesced = m.coalesced.load(Relaxed);
+    let hit_rate = hits as f64 / (hits + coalesced + misses).max(1) as f64;
+    println!(
+        "\ncache: {hits} hits, {misses} misses, {coalesced} coalesced — {:.1}% hit rate",
+        hit_rate * 100.0
+    );
+    println!("warm/cold speedup: {:.1}x", warm_tput / cold_tput);
+    server.shutdown();
+    server.join();
+
+    // Byte-identity across worker counts: a single-worker server must
+    // produce exactly the bytes the multi-worker server did.
+    let reference = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("reference server boots");
+    let distinct_seq: Vec<usize> = distinct.into_iter().collect();
+    let single = run_pass(reference.addr(), &queries, &distinct_seq, 1);
+    for (i, &qi) in distinct_seq.iter().enumerate() {
+        let multi = &warm.bodies[sequence.iter().position(|&s| s == qi).expect("seen")];
+        assert_eq!(
+            &single.bodies[i], multi,
+            "query {qi} differs between --workers 1 and --workers {workers}"
+        );
+    }
+    println!(
+        "byte-identity: {} distinct responses identical across --workers 1 and --workers {workers}",
+        distinct_seq.len()
+    );
+    reference.shutdown();
+    reference.join();
+
+    if warm_tput / cold_tput < 10.0 {
+        println!("WARNING: warm/cold speedup below 10x");
+    }
+}

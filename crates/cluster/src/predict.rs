@@ -1,28 +1,34 @@
-//! Prediction services the queue policies share.
+//! Prediction services the queue policies and the serving daemon share.
 //!
 //! Two caches, both deterministic:
 //!
-//! * **Solo sweeps** — for every workload in the stream's alphabet, all
-//!   four Table I configurations are simulated up front (in parallel over
-//!   [`pmemflow_core::map_ordered`], so `--jobs` changes wall time but
-//!   never results) together with the Table II characterization. Policies
-//!   read the model-driven best configuration, per-config runtime
-//!   predictions (the EASY-backfill reservation estimate), and the
-//!   [`WorkflowProfile`] the Table II policy classifies.
-//! * **Co-run pricing** — the predicted slowdown of every tenant of a
-//!   candidate resident set, from [`execute_coscheduled_with_baselines`]
-//!   over the real device model. Keyed by the multiset of
-//!   `(workflow, ranks, config)`, so a campaign only ever simulates each
-//!   distinct co-residency once.
+//! * **Solo sweeps** — for every workload the oracle knows, all four
+//!   Table I configurations are simulated (in parallel over
+//!   [`pmemflow_core::map_ordered`] when prebuilt with [`Oracle::build`],
+//!   or on demand via [`Oracle::ensure`]) together with the Table II
+//!   characterization. Callers read the model-driven best configuration,
+//!   per-config runtime predictions (the EASY-backfill reservation
+//!   estimate), and the [`WorkflowProfile`] the Table II policy
+//!   classifies.
+//! * **Co-run pricing** — the predicted per-tenant outcome of every
+//!   candidate resident set, from
+//!   [`execute_coscheduled_with_baselines`] over the real device model.
+//!   Keyed by the multiset of `(workflow, ranks, config)`, so each
+//!   distinct co-residency is simulated exactly once per oracle.
+//!
+//! The oracle is the **single prediction path** of the workspace: the
+//! campaign event loop prebuilds it over the arrival stream's alphabet,
+//! and `pmemflow_serve` populates it lazily as queries arrive. Both see
+//! bit-identical predictions for the same inputs.
 
 use pmemflow_core::{
     execute_coscheduled_with_baselines, map_ordered, sweep, ConfigSweep, ExecError,
-    ExecutionParams, SchedConfig, Tenant,
+    ExecutionParams, SchedConfig, Tenant, TenantBreakdown,
 };
 use pmemflow_sched::{characterize, classify, recommend, RuleThresholds, WorkflowProfile};
 use pmemflow_workloads::WorkflowSpec;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Identity of a tenant for pricing purposes: everything that affects the
 /// device model sees of it.
@@ -55,12 +61,21 @@ struct AlphabetEntry {
 
 /// The shared prediction oracle (see module docs).
 pub struct Oracle {
-    entries: BTreeMap<(String, usize), AlphabetEntry>,
-    corun: Mutex<BTreeMap<Vec<TenantKey>, Vec<f64>>>,
+    entries: Mutex<BTreeMap<(String, usize), Arc<AlphabetEntry>>>,
+    corun: Mutex<BTreeMap<Vec<TenantKey>, Arc<Vec<TenantBreakdown>>>>,
     exec: ExecutionParams,
 }
 
 impl Oracle {
+    /// An empty oracle that populates on demand through [`Oracle::ensure`].
+    pub fn new(exec: &ExecutionParams) -> Oracle {
+        Oracle {
+            entries: Mutex::new(BTreeMap::new()),
+            corun: Mutex::new(BTreeMap::new()),
+            exec: exec.clone(),
+        }
+    }
+
     /// Characterize every workload of `alphabet` with up to `jobs`
     /// parallel simulations. Results are independent of `jobs`.
     pub fn build(
@@ -69,35 +84,69 @@ impl Oracle {
         jobs: usize,
     ) -> Result<Oracle, ExecError> {
         let items: Vec<(String, usize, WorkflowSpec)> = alphabet.to_vec();
-        let results = map_ordered(items, jobs, |(_, _, spec)| {
-            let sw = sweep(spec, exec)?;
-            let profile = characterize(spec, exec)?;
-            Ok::<(ConfigSweep, WorkflowProfile), ExecError>((sw, profile))
-        });
-        let mut entries = BTreeMap::new();
-        for ((name, ranks, spec), result) in alphabet.iter().cloned().zip(results) {
-            let (sweep, profile) = result
-                .map_err(|panic| ExecError::Spec(format!("characterization panicked: {panic}")))?
-                .map_err(|e| ExecError::Spec(format!("characterizing {name}@{ranks}: {e}")))?;
-            entries.insert(
-                (name, ranks),
-                AlphabetEntry {
-                    spec,
-                    sweep,
-                    profile,
-                },
-            );
+        let results = map_ordered(items, jobs, |(_, _, spec)| characterize_one(spec, exec));
+        let oracle = Oracle::new(exec);
+        {
+            let mut entries = oracle.entries.lock().unwrap();
+            for ((name, ranks, spec), result) in alphabet.iter().cloned().zip(results) {
+                let (sweep, profile) = result
+                    .map_err(|panic| {
+                        ExecError::Spec(format!("characterization panicked: {panic}"))
+                    })?
+                    .map_err(|e| ExecError::Spec(format!("characterizing {name}@{ranks}: {e}")))?;
+                entries.insert(
+                    (name, ranks),
+                    Arc::new(AlphabetEntry {
+                        spec,
+                        sweep,
+                        profile,
+                    }),
+                );
+            }
         }
-        Ok(Oracle {
-            entries,
-            corun: Mutex::new(BTreeMap::new()),
-            exec: exec.clone(),
-        })
+        Ok(oracle)
     }
 
-    fn entry(&self, workflow: &str, ranks: usize) -> &AlphabetEntry {
+    /// Make sure `workflow@ranks` is characterized, simulating the four
+    /// configurations and the Table II profile on first sight. Subsequent
+    /// calls are O(lookup). Concurrent first sights may both simulate;
+    /// results are deterministic so either insert wins harmlessly.
+    pub fn ensure(
+        &self,
+        workflow: &str,
+        ranks: usize,
+        spec: &WorkflowSpec,
+    ) -> Result<(), ExecError> {
+        let key = (workflow.to_string(), ranks);
+        if self.entries.lock().unwrap().contains_key(&key) {
+            return Ok(());
+        }
+        let (sweep, profile) = characterize_one(spec, &self.exec)
+            .map_err(|e| ExecError::Spec(format!("characterizing {workflow}@{ranks}: {e}")))?;
+        self.entries.lock().unwrap().entry(key).or_insert_with(|| {
+            Arc::new(AlphabetEntry {
+                spec: spec.clone(),
+                sweep,
+                profile,
+            })
+        });
+        Ok(())
+    }
+
+    /// Whether `workflow@ranks` has been characterized already.
+    pub fn contains(&self, workflow: &str, ranks: usize) -> bool {
         self.entries
+            .lock()
+            .unwrap()
+            .contains_key(&(workflow.to_string(), ranks))
+    }
+
+    fn entry(&self, workflow: &str, ranks: usize) -> Arc<AlphabetEntry> {
+        self.entries
+            .lock()
+            .unwrap()
             .get(&(workflow.to_string(), ranks))
+            .cloned()
             .unwrap_or_else(|| panic!("{workflow}@{ranks} not in the campaign alphabet"))
     }
 
@@ -112,19 +161,29 @@ impl Oracle {
         self.entry(workflow, ranks).sweep.run(config).total
     }
 
+    /// The full four-configuration sweep of a workload.
+    pub fn config_sweep(&self, workflow: &str, ranks: usize) -> ConfigSweep {
+        self.entry(workflow, ranks).sweep.clone()
+    }
+
+    /// The Table II characterization of a workload.
+    pub fn profile(&self, workflow: &str, ranks: usize) -> WorkflowProfile {
+        self.entry(workflow, ranks).profile.clone()
+    }
+
     /// The Table II recommendation: the matching table row's configuration
     /// when one exists, otherwise the rule engine's pick.
     pub fn table2_config(&self, workflow: &str, ranks: usize) -> SchedConfig {
-        let profile = &self.entry(workflow, ranks).profile;
-        match classify(profile) {
+        let profile = self.profile(workflow, ranks);
+        match classify(&profile) {
             Some(row) => row.config,
-            None => recommend(profile, &RuleThresholds::default()).config,
+            None => recommend(&profile, &RuleThresholds::default()).config,
         }
     }
 
     /// The built workflow for a stream entry.
-    pub fn spec(&self, workflow: &str, ranks: usize) -> &WorkflowSpec {
-        &self.entry(workflow, ranks).spec
+    pub fn spec(&self, workflow: &str, ranks: usize) -> WorkflowSpec {
+        self.entry(workflow, ranks).spec.clone()
     }
 
     /// Predicted per-tenant slowdowns of co-running `set` on one node, in
@@ -135,14 +194,29 @@ impl Oracle {
         if set.len() <= 1 {
             return Ok(vec![1.0; set.len()]);
         }
+        Ok(self
+            .corun_breakdown(set)?
+            .iter()
+            .map(|b| b.slowdown)
+            .collect())
+    }
+
+    /// Full per-tenant attribution of co-running `set` on one node, in
+    /// input order (each breakdown's `index` is rewritten to the input
+    /// position). Priced through the same memoized path as
+    /// [`Oracle::corun_slowdowns`].
+    pub fn corun_breakdown(&self, set: &[TenantKey]) -> Result<Vec<TenantBreakdown>, ExecError> {
+        if set.is_empty() {
+            return Ok(Vec::new());
+        }
         // Canonical order: sort keys; remember where each input key went.
         let mut order: Vec<usize> = (0..set.len()).collect();
         order.sort_by(|&a, &b| set[a].cmp(&set[b]));
         let canonical: Vec<TenantKey> = order.iter().map(|&i| set[i].clone()).collect();
 
         let cached = self.corun.lock().unwrap().get(&canonical).cloned();
-        let slowdowns = match cached {
-            Some(s) => s,
+        let breakdowns = match cached {
+            Some(b) => b,
             None => {
                 let tenants: Vec<Tenant> = canonical
                     .iter()
@@ -163,18 +237,20 @@ impl Oracle {
                     .collect();
                 let out =
                     execute_coscheduled_with_baselines(&tenants, &self.exec, Some(&baselines))?;
-                let s: Vec<f64> = out.breakdown.iter().map(|b| b.slowdown).collect();
+                let b = Arc::new(out.breakdown);
                 self.corun
                     .lock()
                     .unwrap()
-                    .insert(canonical.clone(), s.clone());
-                s
+                    .insert(canonical.clone(), b.clone());
+                b
             }
         };
-        // Un-permute back to input order.
-        let mut result = vec![0.0; set.len()];
+        // Un-permute back to input order, restoring input indices.
+        let mut result: Vec<TenantBreakdown> = vec![breakdowns[0].clone(); set.len()];
         for (canon_pos, &input_pos) in order.iter().enumerate() {
-            result[input_pos] = slowdowns[canon_pos];
+            let mut b = breakdowns[canon_pos].clone();
+            b.index = input_pos;
+            result[input_pos] = b;
         }
         Ok(result)
     }
@@ -183,6 +259,27 @@ impl Oracle {
     pub fn corun_cache_len(&self) -> usize {
         self.corun.lock().unwrap().len()
     }
+
+    /// Number of workloads characterized so far (diagnostics).
+    pub fn alphabet_len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// The execution parameters every prediction runs under.
+    pub fn exec(&self) -> &ExecutionParams {
+        &self.exec
+    }
+}
+
+/// One workload's full characterization: the four-configuration sweep plus
+/// the Table II profile.
+fn characterize_one(
+    spec: &WorkflowSpec,
+    exec: &ExecutionParams,
+) -> Result<(ConfigSweep, WorkflowProfile), ExecError> {
+    let sw = sweep(spec, exec)?;
+    let profile = characterize(spec, exec)?;
+    Ok((sw, profile))
 }
 
 #[cfg(test)]
@@ -214,6 +311,36 @@ mod tests {
     }
 
     #[test]
+    fn on_demand_oracle_matches_prebuilt() {
+        // `serve` populates lazily; the campaign prebuilds. Same numbers.
+        let exec = ExecutionParams::default();
+        let prebuilt = Oracle::build(&tiny_alphabet(), &exec, 2).unwrap();
+        let lazy = Oracle::new(&exec);
+        assert_eq!(lazy.alphabet_len(), 0);
+        for (name, ranks, spec) in tiny_alphabet() {
+            assert!(!lazy.contains(&name, ranks));
+            lazy.ensure(&name, ranks, &spec).unwrap();
+            lazy.ensure(&name, ranks, &spec).unwrap(); // idempotent
+            assert!(lazy.contains(&name, ranks));
+            assert_eq!(
+                lazy.best_config(&name, ranks),
+                prebuilt.best_config(&name, ranks)
+            );
+            for c in SchedConfig::ALL {
+                assert_eq!(
+                    lazy.solo_runtime(&name, ranks, c).to_bits(),
+                    prebuilt.solo_runtime(&name, ranks, c).to_bits()
+                );
+            }
+            assert_eq!(
+                lazy.table2_config(&name, ranks),
+                prebuilt.table2_config(&name, ranks)
+            );
+        }
+        assert_eq!(lazy.alphabet_len(), 2);
+    }
+
+    #[test]
     fn corun_pricing_is_order_insensitive_and_cached() {
         let exec = ExecutionParams::default();
         let oracle = Oracle::build(&tiny_alphabet(), &exec, 2).unwrap();
@@ -227,6 +354,33 @@ mod tests {
         for s in ab {
             assert!(s >= 0.99, "slowdown {s}");
         }
+    }
+
+    #[test]
+    fn corun_breakdown_reports_input_positions() {
+        let exec = ExecutionParams::default();
+        let oracle = Oracle::build(&tiny_alphabet(), &exec, 2).unwrap();
+        let a = TenantKey::new("micro-64MB", 8, SchedConfig::S_LOC_W);
+        let b = TenantKey::new("micro-2KB", 8, SchedConfig::P_LOC_R);
+        let ab = oracle.corun_breakdown(&[a.clone(), b.clone()]).unwrap();
+        let ba = oracle.corun_breakdown(&[b, a]).unwrap();
+        assert_eq!(ab.len(), 2);
+        for (i, bd) in ab.iter().enumerate() {
+            assert_eq!(bd.index, i);
+        }
+        assert_eq!(ab[0].workflow, ba[1].workflow);
+        assert_eq!(ab[0].end.to_bits(), ba[1].end.to_bits());
+        assert_eq!(
+            ab[0].slowdown.to_bits(),
+            oracle
+                .corun_slowdowns(&[
+                    TenantKey::new("micro-64MB", 8, SchedConfig::S_LOC_W),
+                    TenantKey::new("micro-2KB", 8, SchedConfig::P_LOC_R)
+                ])
+                .unwrap()[0]
+                .to_bits()
+        );
+        assert_eq!(oracle.corun_cache_len(), 1, "breakdowns share the cache");
     }
 
     #[test]

@@ -163,34 +163,12 @@ pub fn full_matrix() -> Vec<RunRequest> {
     requests
 }
 
-/// Escape a string for embedding in a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Format an `f64` as a JSON number (JSON has no NaN/Infinity; those
-/// degrade to null).
-pub fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
+// The canonical JSON string/number formatting rules live in the engine
+// crate ([`pmemflow_des::json`]) so every emitter in the workspace —
+// JSONL records here, Chrome traces in `des`, the serving daemon's
+// response bodies — shares one implementation. Re-exported under the
+// original paths for compatibility.
+pub use pmemflow_des::json::{json_escape, json_f64};
 
 impl RunOutcome {
     /// Serialize as one JSON Lines record (no trailing newline).

@@ -52,6 +52,7 @@
 
 mod engine;
 mod flow;
+pub mod json;
 mod process;
 pub mod rng;
 mod stats;
@@ -63,6 +64,7 @@ pub use flow::{
     water_fill, Direction, FairShareAllocator, FlowAttrs, FlowId, FlowView, Locality,
     RateAllocator, UncontendedAllocator,
 };
+pub use json::{json_escape, json_f64};
 pub use process::{Action, ChannelId, Process, ProcessId, ResourceId, Resume, ScriptProcess};
 pub use stats::{ProcessReport, ResourceReport, SimReport};
 pub use time::{SimDuration, SimTime};

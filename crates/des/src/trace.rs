@@ -141,13 +141,13 @@ impl Timeline {
                 first = false;
                 let _ = write!(
                     out,
-                    "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"process\":\"{}\"}}}}",
+                    "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"process\":\"{}\"}}}}",
                     span.kind.name(),
                     span.kind.name(),
-                    span.start.seconds() * 1e6,
-                    span.seconds() * 1e6,
+                    crate::json::json_f64((span.start.seconds() * 1e6 * 1e3).round() / 1e3),
+                    crate::json::json_f64((span.seconds() * 1e6 * 1e3).round() / 1e3),
                     pid,
-                    p.name
+                    crate::json::json_escape(&p.name)
                 );
             }
         }
@@ -253,6 +253,30 @@ mod tests {
         assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
         assert!(j.contains("\"name\":\"compute\""));
         // Balanced braces (cheap sanity check without a JSON dep).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_trace_survives_hostile_names_and_times() {
+        // A process name with quotes/control characters must be escaped,
+        // and non-finite span times must degrade to null, not "NaN".
+        let t = Timeline {
+            processes: vec![ProcessTimeline {
+                name: "rank \"0\"\n\u{1}".into(),
+                spans: vec![Span {
+                    start: SimTime(f64::NAN),
+                    end: SimTime(1.0),
+                    kind: SpanKind::Io,
+                }],
+            }],
+            end_time: SimTime(1.0),
+        };
+        let j = t.chrome_trace_json();
+        assert!(j.contains("rank \\\"0\\\"\\n\\u0001"), "{j}");
+        assert!(j.contains("\"ts\":null"), "{j}");
+        assert!(!j.contains("NaN"), "{j}");
+        // Still a balanced document: the quote in the name did not
+        // terminate the string literal early.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

@@ -33,6 +33,16 @@ impl StackKind {
         }
     }
 
+    /// Parse a stack from a user-facing name, case-insensitively. The
+    /// single name table the CLI and the serving daemon resolve through.
+    pub fn parse(name: &str) -> Option<StackKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "nova" => Some(StackKind::Nova),
+            "nvstream" => Some(StackKind::NvStream),
+            _ => None,
+        }
+    }
+
     /// The cost model for this stack.
     pub fn cost_model(self) -> StackCostModel {
         match self {

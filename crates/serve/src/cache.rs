@@ -1,0 +1,278 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are canonical query strings ([`crate::query::Query::canonical_key`]);
+//! values are shared, immutable rendered responses. The key is hashed
+//! with FNV-1a — a fixed, seed-free hash, so the key→shard assignment is
+//! identical across processes and runs — and each shard is an
+//! independently locked LRU with **deterministic eviction order**: a
+//! shard at capacity evicts exactly its least-recently-*used* entry,
+//! where both inserts and hits count as uses.
+//!
+//! The LRU itself is an intrusive doubly-linked list threaded through a
+//! slab, so hit, insert and evict are all O(1) plus the `HashMap` lookup.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a: stable across runs (unlike `DefaultHasher`, whose
+/// `RandomState` is per-process) and good enough for shard spreading.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry<V> {
+    key: String,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab + index + recency list (head = most recent).
+struct Shard<V> {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Insert (or refresh) `key`; evict the LRU entry if over `capacity`.
+    /// Returns the evicted key, if any.
+    fn insert(&mut self, key: &str, value: V, capacity: usize) -> Option<String> {
+        if let Some(&i) = self.map.get(key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return None;
+        }
+        let entry = Entry {
+            key: key.to_string(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key.to_string(), i);
+        self.push_front(i);
+        if self.map.len() > capacity {
+            let victim = self.tail;
+            debug_assert!(victim != NIL && victim != i);
+            self.unlink(victim);
+            let evicted = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&evicted);
+            self.free.push(victim);
+            return Some(evicted);
+        }
+        None
+    }
+
+    /// Keys from most- to least-recently used (test view).
+    #[cfg(test)]
+    fn recency_order(&self) -> Vec<String> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            keys.push(self.slab[i].key.clone());
+            i = self.slab[i].next;
+        }
+        keys
+    }
+}
+
+/// A sharded LRU with a global capacity split evenly across shards.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// `capacity` total entries (≥ 1 enforced per shard) spread over
+    /// `shards` independently locked shards (clamped to ≥ 1).
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<V> {
+        let shards = shards.max(1).min(capacity.max(1));
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards).max(1),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard<V>> {
+        &self.shards[(fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize]
+    }
+
+    /// Look `key` up, refreshing its recency on hit.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key).lock().unwrap().get(key)
+    }
+
+    /// Insert `key`, possibly evicting its shard's LRU entry (returned).
+    pub fn insert(&self, key: &str, value: V) -> Option<String> {
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .insert(key, value, self.per_shard_capacity)
+    }
+
+    /// Entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_refresh() {
+        let c: ShardedLru<u32> = ShardedLru::new(8, 1);
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.insert("a", 2), None); // refresh, not duplicate
+        assert_eq!(c.get("a"), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_lru() {
+        // Single shard, capacity 3: use-order fully determines eviction.
+        let c: ShardedLru<u32> = ShardedLru::new(3, 1);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        assert_eq!(c.get("a"), Some(1)); // a is now most recent; b is LRU
+        assert_eq!(c.insert("d", 4), Some("b".to_string()));
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some(1));
+        // Recency now (front to back): a, d, c -> inserting e evicts c.
+        assert_eq!(c.insert("e", 5), Some("c".to_string()));
+        assert_eq!(
+            c.shards[0].lock().unwrap().recency_order(),
+            vec!["e", "a", "d"]
+        );
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn eviction_sequence_replays_identically() {
+        // The same operation sequence must produce the same eviction
+        // sequence on every run (no randomized hashing anywhere).
+        let run = || {
+            let c: ShardedLru<usize> = ShardedLru::new(16, 4);
+            let mut evictions = Vec::new();
+            for i in 0..200 {
+                let key = format!("key-{}", i % 37);
+                if i % 3 == 0 {
+                    c.get(&key);
+                }
+                if let Some(victim) = c.insert(&key, i) {
+                    evictions.push(victim);
+                }
+            }
+            evictions
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "sequence should overflow the cache");
+    }
+
+    #[test]
+    fn sharding_is_stable_and_clamped() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c); // published FNV-1a vector
+        let c: ShardedLru<u8> = ShardedLru::new(2, 64);
+        assert!(c.shard_count() <= 2, "more shards than capacity");
+        let c: ShardedLru<u8> = ShardedLru::new(0, 0);
+        assert_eq!(c.shard_count(), 1);
+        c.insert("x", 1);
+        assert_eq!(c.get("x"), Some(1)); // capacity clamped to 1
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let c: ShardedLru<usize> = ShardedLru::new(64, 8);
+        for i in 0..64 {
+            c.insert(&format!("k{i}"), i);
+        }
+        // Uneven hashing may evict in hot shards, but the cache can never
+        // exceed its global capacity.
+        assert!(c.len() <= 64);
+        assert!(c.len() >= 32, "suspiciously many evictions: {}", c.len());
+    }
+}

@@ -1,0 +1,232 @@
+//! The caching / single-flight execution engine.
+//!
+//! Every request resolves through [`Engine::execute`], which consults the
+//! sharded LRU first and otherwise elects exactly one **leader** per
+//! canonical key to run the computation. Requests that arrive for a key
+//! while its leader is still simulating are **coalesced**: their reply
+//! channel is parked on the in-flight entry and the worker thread moves
+//! on to the next job — no worker ever blocks waiting for another
+//! worker's simulation. When the leader finishes it inserts the result
+//! into the cache and fulfills every parked waiter.
+//!
+//! The classic single-flight race (a follower misses the cache, then
+//! finds no in-flight entry because the leader just finished) is closed
+//! by ordering: the leader inserts into the **cache before** removing the
+//! in-flight entry, so a follower that misses the in-flight map re-checks
+//! the cache and is guaranteed to find the value there.
+
+use crate::cache::ShardedLru;
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+/// Where a reply came from (reported via the `x-pmemflow-cache` header;
+/// response *bodies* are source-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Cache miss: this request's leader ran the computation.
+    Computed,
+    /// Served from the result cache.
+    CacheHit,
+    /// Coalesced onto another request's in-flight computation.
+    Coalesced,
+}
+
+impl Source {
+    /// Header value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Computed => "miss",
+            Source::CacheHit => "hit",
+            Source::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A parked reply channel: the value and its source are delivered when
+/// the leader finishes. Sends to abandoned receivers (deadline expired,
+/// client gone) are silently dropped.
+pub type Waiter<V> = Sender<(V, Source)>;
+
+/// Cache + single-flight front over an arbitrary computation.
+pub struct Engine<V> {
+    cache: ShardedLru<V>,
+    inflight: Mutex<HashMap<String, Vec<Waiter<V>>>>,
+    metrics: Arc<Metrics>,
+}
+
+impl<V: Clone> Engine<V> {
+    /// An engine with a result cache of `capacity` entries over `shards`
+    /// shards, reporting into `metrics`.
+    pub fn new(capacity: usize, shards: usize, metrics: Arc<Metrics>) -> Engine<V> {
+        Engine {
+            cache: ShardedLru::new(capacity, shards),
+            inflight: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    /// Resolve `key`, replying through `waiter` exactly once — either
+    /// inline (cache hit, or this call computed as leader) or later, when
+    /// the in-flight leader this call coalesced onto completes. The
+    /// caller's receive side decides how long it is willing to wait.
+    ///
+    /// `compute` runs at most once per key across all concurrent callers;
+    /// it must be deterministic in `key` for the cache to be sound.
+    pub fn execute<F: FnOnce() -> V>(&self, key: &str, waiter: Waiter<V>, compute: F) {
+        if let Some(v) = self.cache.get(key) {
+            self.metrics.cache_hits.fetch_add(1, Relaxed);
+            let _ = waiter.send((v, Source::CacheHit));
+            return;
+        }
+        {
+            let mut inflight = self.inflight.lock().unwrap();
+            if let Some(waiters) = inflight.get_mut(key) {
+                self.metrics.coalesced.fetch_add(1, Relaxed);
+                waiters.push(waiter);
+                return;
+            }
+            // The leader may have finished between our cache probe and
+            // this lock: cache-insert happens-before entry removal, so a
+            // second probe is conclusive.
+            if let Some(v) = self.cache.get(key) {
+                self.metrics.cache_hits.fetch_add(1, Relaxed);
+                let _ = waiter.send((v, Source::CacheHit));
+                return;
+            }
+            inflight.insert(key.to_string(), Vec::new());
+        }
+        // This call is the leader. Compute without holding any lock.
+        self.metrics.cache_misses.fetch_add(1, Relaxed);
+        let value = compute();
+        if self.cache.insert(key, value.clone()).is_some() {
+            self.metrics.evictions.fetch_add(1, Relaxed);
+        }
+        let waiters = self
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(key)
+            .expect("leader's in-flight entry vanished");
+        let _ = waiter.send((value.clone(), Source::Computed));
+        for w in waiters {
+            let _ = w.send((value.clone(), Source::Coalesced));
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn metrics() -> Arc<Metrics> {
+        Arc::new(Metrics::default())
+    }
+
+    #[test]
+    fn hit_after_compute_and_identical_bytes() {
+        let m = metrics();
+        let e: Engine<String> = Engine::new(8, 1, m.clone());
+        let (tx, rx) = channel();
+        e.execute("k", tx, || "body".to_string());
+        let (cold, src) = rx.recv().unwrap();
+        assert_eq!(src, Source::Computed);
+        let (tx, rx) = channel();
+        e.execute("k", tx, || unreachable!("cached key must not recompute"));
+        let (warm, src) = rx.recv().unwrap();
+        assert_eq!(src, Source::CacheHit);
+        assert_eq!(cold, warm, "cached response must be byte-identical");
+        assert_eq!(m.cache_hits.load(Relaxed), 1);
+        assert_eq!(m.cache_misses.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn single_flight_runs_compute_once_for_concurrent_same_key() {
+        // N threads race on one key; the computation stalls until every
+        // thread has had a chance to enter execute(). Exactly one compute
+        // may run, and every thread must still get the value.
+        const N: usize = 4;
+        let m = metrics();
+        let e: Arc<Engine<String>> = Arc::new(Engine::new(8, 1, m.clone()));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (e, computes, entered) = (e.clone(), computes.clone(), entered.clone());
+                std::thread::spawn(move || {
+                    let (tx, rx) = channel();
+                    entered.fetch_add(1, Relaxed);
+                    e.execute("shared", tx, || {
+                        // Hold the flight open until all threads arrived
+                        // (they either coalesce or, post-completion,
+                        // hit the cache — never recompute).
+                        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+                        while entered.load(Relaxed) < N && std::time::Instant::now() < deadline {
+                            std::thread::yield_now();
+                        }
+                        computes.fetch_add(1, Relaxed);
+                        "value".to_string()
+                    });
+                    rx.recv_timeout(Duration::from_secs(10)).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let (v, _) = h.join().unwrap();
+            assert_eq!(v, "value");
+        }
+        assert_eq!(computes.load(Relaxed), 1, "same key simulated twice");
+        assert_eq!(m.cache_misses.load(Relaxed), 1);
+        assert_eq!(
+            m.cache_hits.load(Relaxed) + m.coalesced.load(Relaxed),
+            (N - 1) as u64
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let m = metrics();
+        let e: Engine<u32> = Engine::new(8, 2, m.clone());
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            let (tx, rx) = channel();
+            e.execute(key, tx, || i as u32);
+            assert_eq!(rx.recv().unwrap().0, i as u32);
+        }
+        assert_eq!(m.cache_misses.load(Relaxed), 3);
+        assert_eq!(m.coalesced.load(Relaxed), 0);
+        assert_eq!(e.cache_len(), 3);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let m = metrics();
+        let e: Engine<u32> = Engine::new(2, 1, m.clone());
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            let (tx, _rx) = channel();
+            e.execute(key, tx, || i as u32);
+        }
+        assert_eq!(m.evictions.load(Relaxed), 2);
+        assert_eq!(e.cache_len(), 2);
+    }
+
+    #[test]
+    fn abandoned_waiters_do_not_poison_the_flight() {
+        let e: Engine<u32> = Engine::new(8, 1, metrics());
+        let (tx, rx) = channel();
+        drop(rx); // client gave up before the result arrived
+        e.execute("k", tx, || 7);
+        let (tx, rx) = channel();
+        e.execute("k", tx, || unreachable!());
+        assert_eq!(rx.recv().unwrap(), (7, Source::CacheHit));
+    }
+}

@@ -1,0 +1,324 @@
+//! A deliberately small HTTP/1.1 message layer over blocking streams.
+//!
+//! Enough of RFC 9112 for a loopback model-serving daemon: request-line +
+//! headers + `Content-Length` bodies, keep-alive by default, hard limits
+//! on every dimension an adversarial client could inflate. No TLS, no
+//! chunked transfer encoding (rejected with `411`/`501`), no pipelining
+//! guarantees beyond strict request/response alternation.
+
+use std::io::{BufRead, Write};
+
+/// Parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the client per spec; not folded).
+    pub method: String,
+    /// Request target, e.g. `/v1/sweep` (query strings are kept verbatim).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean end of stream before any request byte: the peer hung up.
+    Eof,
+    /// Malformed or over-limit request — respond with the carried status
+    /// and close.
+    Bad {
+        /// Status code to answer with (400, 413, 501, ...).
+        status: u16,
+        /// Human-readable reason for the error body.
+        reason: &'static str,
+    },
+    /// Transport error (reset, read timeout, ...).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Hard limits an untrusted client is held to.
+const MAX_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 100;
+const MAX_BODY: usize = 1024 * 1024;
+
+fn bad(status: u16, reason: &'static str) -> HttpError {
+    HttpError::Bad { status, reason }
+}
+
+/// Read one line terminated by `\r\n` (or bare `\n`), without the
+/// terminator, enforcing [`MAX_LINE`].
+fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match std::io::Read::read(stream, &mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad(400, "truncated request line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| bad(400, "request is not valid UTF-8"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(bad(431, "header line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read one complete request from `stream`. [`HttpError::Eof`] signals a
+/// clean keep-alive hangup before the next request.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line(stream)?.ok_or(HttpError::Eof)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(bad(400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(505, "only HTTP/1.x is supported"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream)?.ok_or(bad(400, "truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(bad(400, "malformed header line"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(bad(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(bad(431, "too many headers"));
+        }
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(bad(501, "chunked transfer encoding is not supported"));
+    }
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(400, "malformed Content-Length"))?,
+    };
+    if len > MAX_BODY {
+        return Err(bad(413, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    std::io::Read::read_exact(stream, &mut body).map_err(|_| bad(400, "truncated body"))?;
+    Ok(Request { body, ..req })
+}
+
+/// Canonical reason phrase for the status codes the daemon uses.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response. `extra_headers` are emitted verbatim after
+/// the standard set; `close` adds `Connection: close`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse(
+            b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Type: application/json\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/sweep");
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.body, b"{\"a\""); // exactly Content-Length bytes
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_a_get_and_bare_lf() {
+        let r = parse(b"GET /healthz HTTP/1.1\nConnection: close\n\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.wants_close());
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished_from_garbage() {
+        assert!(matches!(parse(b""), Err(HttpError::Eof)));
+        assert!(matches!(
+            parse(b"GET /x"),
+            Err(HttpError::Bad { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (raw, want) in [
+            (&b"FROB\r\n\r\n"[..], 400u16),
+            (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+            (b"GET /x SPDY/3\r\n\r\n", 505),
+            (b"GET /x HTTP/1.1\r\nBad Header Name: v\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nine\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 400),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ] {
+            match parse(raw) {
+                Err(HttpError::Bad { status, .. }) => {
+                    assert_eq!(status, want, "{:?}", String::from_utf8_lossy(raw))
+                }
+                other => panic!(
+                    "{:?}: expected Bad({want}), got {other:?}",
+                    String::from_utf8_lossy(raw)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        assert!(matches!(
+            parse(long.as_bytes()),
+            Err(HttpError::Bad { status: 431, .. })
+        ));
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(HttpError::Bad { status: 413, .. })
+        ));
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(
+            parse(many.as_bytes()),
+            Err(HttpError::Bad { status: 431, .. })
+        ));
+    }
+
+    #[test]
+    fn writes_a_response_with_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{\"error\":\"shed\"}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n\r\n{\"error\":\"shed\"}"));
+    }
+}

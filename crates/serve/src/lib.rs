@@ -1,0 +1,49 @@
+//! `pmemflow_serve` — a model-serving daemon for the PMEM workflow model.
+//!
+//! The workspace's simulations answer scheduling questions (which Table I
+//! configuration, what runtime, what co-residency price) in milliseconds;
+//! this crate turns that into a long-running service a cluster scheduler
+//! can query over HTTP. Everything is hand-rolled on `std` — no external
+//! dependencies anywhere in the workspace.
+//!
+//! # Endpoints
+//!
+//! | Endpoint             | Body                                             | Answer |
+//! |----------------------|--------------------------------------------------|--------|
+//! | `POST /v1/sweep`     | `{workload, ranks, stack?}`                      | all four Table I runs + best/worst |
+//! | `POST /v1/recommend` | `{workload, ranks, stack?}`                      | rule-based + Table II + model-driven picks |
+//! | `POST /v1/predict`   | `{workload, ranks, stack?, config?}`             | predicted solo runtime |
+//! | `POST /v1/coschedule`| `{tenants: [{workload, ranks, config}], stack?}` | per-tenant co-run pricing |
+//! | `GET /healthz`       | —                                                | liveness |
+//! | `GET /metrics`       | —                                                | Prometheus-style text exposition |
+//! | `POST /admin/shutdown` | —                                              | graceful drain |
+//!
+//! # Architecture
+//!
+//! Requests flow through a bounded admission queue into a fixed worker
+//! pool ([`server`]); identical questions (by canonical key, [`query`])
+//! coalesce onto one simulation ([`engine`]) and land in a sharded,
+//! deterministically-evicting LRU ([`cache`]). Overload is shed at the
+//! queue with `429 + Retry-After`; per-request deadlines answer `504`;
+//! shutdown drains gracefully. The answers themselves come from the same
+//! [`pmemflow_cluster::predict::Oracle`] the campaign scheduler uses
+//! ([`model`]), so the daemon and the batch path predict bit-identical
+//! numbers.
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod model;
+pub mod query;
+pub mod server;
+
+pub use engine::{Engine, Source};
+pub use metrics::Metrics;
+pub use model::{Answer, Backend, ModelBackend};
+/// The shared prediction path (re-exported so serve API users need not
+/// depend on `pmemflow_cluster` directly).
+pub use pmemflow_cluster::predict::{Oracle, TenantKey};
+pub use query::Query;
+pub use server::{Server, ServerConfig};

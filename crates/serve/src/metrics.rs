@@ -1,0 +1,274 @@
+//! Lock-free serving metrics with a Prometheus-style text exposition.
+//!
+//! Everything is a relaxed atomic — scrapes are cheap and never block the
+//! request path; the exposition is a point-in-time approximation, which
+//! is all a scraper ever gets anyway. Latencies go into a fixed
+//! log-spaced histogram (powers of two in microseconds) from which
+//! p50/p95/p99 are estimated by linear interpolation within the bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// The endpoints the daemon tracks individually.
+pub const ENDPOINTS: [&str; 7] = [
+    "/v1/sweep",
+    "/v1/recommend",
+    "/v1/predict",
+    "/v1/coschedule",
+    "/healthz",
+    "/metrics",
+    "other",
+];
+
+/// Histogram bucket upper bounds in microseconds: 1µs · 4^i, 16 buckets
+/// spanning 1µs to ~4.3ks, plus an implicit +Inf.
+const BUCKETS: usize = 16;
+
+fn bucket_upper_us(i: usize) -> u64 {
+    1u64 << (2 * i)
+}
+
+/// A fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe_us(&self, us: u64) {
+        let idx = BUCKETS; // sentinel: overflow
+        let mut slot = idx;
+        for i in 0..BUCKETS {
+            if us <= bucket_upper_us(i) {
+                slot = i;
+                break;
+            }
+        }
+        if slot == BUCKETS {
+            self.overflow.fetch_add(1, Relaxed);
+        } else {
+            self.counts[slot].fetch_add(1, Relaxed);
+        }
+        self.sum_us.fetch_add(us, Relaxed);
+        self.total.fetch_add(1, Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Relaxed)
+    }
+
+    /// Sum of observations, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us.load(Relaxed) as f64 / 1e6
+    }
+
+    /// Estimate quantile `q` (0..1) in seconds by linear interpolation
+    /// within the containing bucket. Returns 0.0 on an empty histogram.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.total.load(Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            let c = self.counts[i].load(Relaxed);
+            if seen + c >= target {
+                let lower = if i == 0 { 0 } else { bucket_upper_us(i - 1) };
+                let upper = bucket_upper_us(i);
+                let frac = if c == 0 {
+                    1.0
+                } else {
+                    (target - seen) as f64 / c as f64
+                };
+                return (lower as f64 + frac * (upper - lower) as f64) / 1e6;
+            }
+            seen += c;
+        }
+        // Overflow bucket: report its lower bound.
+        bucket_upper_us(BUCKETS - 1) as f64 / 1e6
+    }
+}
+
+/// All counters the daemon exposes.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests received, per endpoint (ENDPOINTS order).
+    pub requests: [AtomicU64; ENDPOINTS.len()],
+    /// Responses sent, by status class bucket (see [`status_bucket`]).
+    pub responses: [AtomicU64; STATUS_BUCKETS.len()],
+    /// Result-cache hits (includes single-flight followers).
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses that ran a simulation.
+    pub cache_misses: AtomicU64,
+    /// Requests coalesced onto an already-in-flight identical simulation.
+    pub coalesced: AtomicU64,
+    /// Cache evictions.
+    pub evictions: AtomicU64,
+    /// Requests shed with 429 because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests that missed their deadline (504).
+    pub deadline_missed: AtomicU64,
+    /// Current depth of the admission queue.
+    pub queue_depth: AtomicU64,
+    /// End-to-end request latency (parse to response write).
+    pub latency: Histogram,
+}
+
+/// The status codes tracked individually.
+pub const STATUS_BUCKETS: [u16; 13] = [
+    200, 400, 404, 405, 413, 422, 429, 431, 500, 501, 503, 504, 505,
+];
+
+/// Index into [`Metrics::responses`] for a status code.
+pub fn status_bucket(status: u16) -> usize {
+    STATUS_BUCKETS
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUS_BUCKETS.len() - 1)
+}
+
+impl Metrics {
+    /// Index into [`Metrics::requests`] for a request path.
+    pub fn endpoint_index(path: &str) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|&e| e == path)
+            .unwrap_or(ENDPOINTS.len() - 1)
+    }
+
+    /// Count one received request.
+    pub fn on_request(&self, path: &str) {
+        self.requests[Self::endpoint_index(path)].fetch_add(1, Relaxed);
+    }
+
+    /// Count one response by status.
+    pub fn on_response(&self, status: u16) {
+        self.responses[status_bucket(status)].fetch_add(1, Relaxed);
+    }
+
+    /// Render the Prometheus-style text exposition.
+    pub fn exposition(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# TYPE pmemflow_serve_requests_total counter\n");
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            out.push_str(&format!(
+                "pmemflow_serve_requests_total{{endpoint=\"{name}\"}} {}\n",
+                self.requests[i].load(Relaxed)
+            ));
+        }
+        out.push_str("# TYPE pmemflow_serve_responses_total counter\n");
+        for (i, status) in STATUS_BUCKETS.iter().enumerate() {
+            out.push_str(&format!(
+                "pmemflow_serve_responses_total{{status=\"{status}\"}} {}\n",
+                self.responses[i].load(Relaxed)
+            ));
+        }
+        for (name, v) in [
+            ("cache_hits_total", &self.cache_hits),
+            ("cache_misses_total", &self.cache_misses),
+            ("coalesced_total", &self.coalesced),
+            ("cache_evictions_total", &self.evictions),
+            ("shed_total", &self.shed),
+            ("deadline_missed_total", &self.deadline_missed),
+        ] {
+            out.push_str(&format!(
+                "# TYPE pmemflow_serve_{name} counter\npmemflow_serve_{name} {}\n",
+                v.load(Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE pmemflow_serve_queue_depth gauge\npmemflow_serve_queue_depth {}\n",
+            self.queue_depth.load(Relaxed)
+        ));
+        out.push_str("# TYPE pmemflow_serve_request_latency_seconds summary\n");
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "pmemflow_serve_request_latency_seconds{{quantile=\"{label}\"}} {:.6}\n",
+                self.latency.quantile_seconds(q)
+            ));
+        }
+        out.push_str(&format!(
+            "pmemflow_serve_request_latency_seconds_sum {:.6}\n",
+            self.latency.sum_seconds()
+        ));
+        out.push_str(&format!(
+            "pmemflow_serve_request_latency_seconds_count {}\n",
+            self.latency.count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_seconds(0.5), 0.0);
+        for us in [10u64, 20, 30, 40, 1000, 1000, 1000, 1000, 1000, 100_000] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_seconds(0.5);
+        // Half the mass is at 1000µs, inside the (256, 1024] bucket.
+        assert!(p50 > 200e-6 && p50 <= 1024e-6, "p50 {p50}");
+        let p99 = h.quantile_seconds(0.99);
+        assert!(p99 > 1024e-6, "p99 {p99}");
+        assert!(p99 >= p50);
+        assert!(
+            (h.sum_seconds() - 0.1051).abs() < 1e-9,
+            "{}",
+            h.sum_seconds()
+        );
+    }
+
+    #[test]
+    fn histogram_overflow_is_counted() {
+        let h = Histogram::default();
+        h.observe_us(u64::MAX / 2);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_seconds(0.5) > 1000.0);
+    }
+
+    #[test]
+    fn exposition_lists_every_series() {
+        let m = Metrics::default();
+        m.on_request("/v1/sweep");
+        m.on_request("/nope");
+        m.on_response(200);
+        m.on_response(429);
+        m.cache_hits.fetch_add(3, Relaxed);
+        m.latency.observe_us(500);
+        let text = m.exposition();
+        for needle in [
+            "pmemflow_serve_requests_total{endpoint=\"/v1/sweep\"} 1",
+            "pmemflow_serve_requests_total{endpoint=\"other\"} 1",
+            "pmemflow_serve_responses_total{status=\"200\"} 1",
+            "pmemflow_serve_responses_total{status=\"429\"} 1",
+            "pmemflow_serve_cache_hits_total 3",
+            "pmemflow_serve_cache_misses_total 0",
+            "pmemflow_serve_shed_total 0",
+            "pmemflow_serve_queue_depth 0",
+            "pmemflow_serve_request_latency_seconds{quantile=\"0.5\"}",
+            "pmemflow_serve_request_latency_seconds{quantile=\"0.99\"}",
+            "pmemflow_serve_request_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle}\n{text}");
+        }
+    }
+
+    #[test]
+    fn status_buckets_cover_the_daemons_codes() {
+        assert_eq!(status_bucket(200), 0);
+        assert_ne!(status_bucket(504), status_bucket(200));
+        // Unknown codes fold into the last bucket instead of panicking.
+        assert_eq!(status_bucket(418), STATUS_BUCKETS.len() - 1);
+    }
+}

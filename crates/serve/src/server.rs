@@ -1,0 +1,447 @@
+//! The serving daemon: accept loop, bounded admission queue, worker pool.
+//!
+//! ```text
+//!  client ──> connection thread ──try_send──> bounded queue ──> worker pool
+//!                │   (parse HTTP + JSON,          │ full?          │
+//!                │    canonical key)              └── 429 +        ├─ cache hit → reply
+//!                │                                    Retry-After  ├─ in-flight → park waiter
+//!                └────────── recv_timeout <──────────────────────  └─ leader    → simulate
+//!                              │ deadline exceeded → 504
+//! ```
+//!
+//! Connection threads never simulate and workers never block on another
+//! worker: a connection parses, enqueues a job carrying its reply
+//! channel, and waits with a deadline; a worker resolves the job through
+//! the [`Engine`] (cache → coalesce → compute). Overload is shed at the
+//! queue with `429` and a `Retry-After`, so the daemon degrades by
+//! refusing work it could not finish in time rather than by collapsing.
+//!
+//! Shutdown (`POST /admin/shutdown`, [`Server::shutdown`], or dropping
+//! the handle) is graceful: the acceptor stops, in-flight requests
+//! finish, idle keep-alive connections are released by their read
+//! timeout, and [`Server::join`] returns once the workers have drained.
+
+use crate::engine::{Engine, Source};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::model::{Answer, Backend, ModelBackend};
+use crate::query::Query;
+use pmemflow_des::json::json_escape;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP port on 127.0.0.1 (0 = ephemeral, see [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads resolving queries (≥ 1).
+    pub workers: usize,
+    /// Result-cache capacity, entries (≥ 1).
+    pub cache_capacity: usize,
+    /// Cache shards.
+    pub shards: usize,
+    /// Admission-queue depth; a full queue sheds with 429.
+    pub queue_capacity: usize,
+    /// Per-request deadline; exceeding it answers 504.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 2,
+            cache_capacity: 256,
+            shards: 8,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One unit of queued work: a decoded query plus the reply channel of the
+/// connection that is waiting for it.
+struct Job {
+    key: String,
+    query: Query,
+    reply: std::sync::mpsc::Sender<(Arc<Answer>, Source)>,
+    expires: Instant,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    queue: SyncSender<Job>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    deadline: Duration,
+    active: Arc<AtomicUsize>,
+}
+
+/// A running daemon. Dropping the handle initiates shutdown; call
+/// [`Server::join`] to drain first.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    engine: Arc<Engine<Arc<Answer>>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Boot with the real model backend.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        Server::start_with_backend(config, Arc::new(ModelBackend::new()))
+    }
+
+    /// Boot with an arbitrary backend (tests inject stubs here).
+    pub fn start_with_backend(
+        config: ServerConfig,
+        backend: Arc<dyn Backend>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let engine: Arc<Engine<Arc<Answer>>> = Arc::new(Engine::new(
+            config.cache_capacity.max(1),
+            config.shards.max(1),
+            metrics.clone(),
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let (queue, jobs) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let jobs = Arc::new(Mutex::new(jobs));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let (jobs, engine, backend, metrics) = (
+                    jobs.clone(),
+                    engine.clone(),
+                    backend.clone(),
+                    metrics.clone(),
+                );
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&jobs, &engine, &*backend, &metrics))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            addr,
+            queue,
+            metrics: metrics.clone(),
+            shutdown: shutdown.clone(),
+            deadline: config.deadline,
+            active: active.clone(),
+        });
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = shared.clone();
+                        shared.active.fetch_add(1, Relaxed);
+                        let _ = std::thread::Builder::new().name("serve-conn".into()).spawn(
+                            move || {
+                                handle_connection(stream, &shared);
+                                shared.active.fetch_sub(1, Relaxed);
+                            },
+                        );
+                    }
+                    // `shared` (and with it the queue sender) drops here;
+                    // workers drain the queue and exit.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            metrics,
+            engine,
+            active,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serving metrics (shared with the daemon threads).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Entries currently in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.engine.cache_len()
+    }
+
+    /// Initiate shutdown: stop accepting, let in-flight requests finish.
+    pub fn shutdown(&self) {
+        if !self.shutdown.swap(true, Relaxed) {
+            // Unblock the acceptor's blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Block until the daemon has shut down and drained. Returns the
+    /// number of connections abandoned by the drain timeout (0 on a
+    /// clean drain).
+    pub fn join(mut self) -> usize {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connection threads park at most one read-timeout interval; give
+        // them a little longer than that to notice the flag.
+        let drain_deadline = Instant::now() + 2 * CONN_READ_TIMEOUT;
+        while self.active.load(Relaxed) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let abandoned = self.active.load(Relaxed);
+        if abandoned == 0 {
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+        abandoned
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    jobs: &Mutex<Receiver<Job>>,
+    engine: &Engine<Arc<Answer>>,
+    backend: &dyn Backend,
+    metrics: &Metrics,
+) {
+    loop {
+        // Standard Mutex<Receiver> pool: the lock holder blocks in recv,
+        // the rest block on the lock; each job wakes exactly one worker.
+        let job = match jobs.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // every sender gone: drained, shut down
+        };
+        metrics.queue_depth.fetch_sub(1, Relaxed);
+        if Instant::now() > job.expires {
+            // The connection has already answered 504; don't burn a
+            // simulation on a reply nobody is waiting for.
+            continue;
+        }
+        engine.execute(&job.key, job.reply, || Arc::new(backend.answer(&job.query)));
+    }
+}
+
+/// How long a connection thread blocks waiting for the next keep-alive
+/// request before re-checking the shutdown flag.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+fn error_body(msg: &str) -> Vec<u8> {
+    format!("{{\"error\":\"{}\"}}", json_escape(msg)).into_bytes()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::Eof) => return,
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle keep-alive connection: linger unless draining.
+                if shared.shutdown.load(Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Bad { status, reason }) => {
+                shared.metrics.on_response(status);
+                let _ = write_response(
+                    &mut stream,
+                    status,
+                    "application/json",
+                    &[],
+                    &error_body(reason),
+                    true,
+                );
+                return;
+            }
+        };
+        let started = Instant::now();
+        shared.metrics.on_request(&request.path);
+        let close = request.wants_close() || shared.shutdown.load(Relaxed);
+        let flow = respond(&mut stream, &request, shared, close);
+        shared
+            .metrics
+            .latency
+            .observe_us(started.elapsed().as_micros() as u64);
+        match flow {
+            Flow::Continue if !close => {}
+            _ => return,
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, close: bool) -> Flow {
+    let mut send = |status: u16, content_type: &str, extra: &[(&str, String)], body: &[u8]| {
+        shared.metrics.on_response(status);
+        match write_response(stream, status, content_type, extra, body, close) {
+            Ok(()) => {
+                if close {
+                    Flow::Close
+                } else {
+                    Flow::Continue
+                }
+            }
+            Err(_) => Flow::Close,
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => send(200, "text/plain", &[], b"ok\n"),
+        ("GET", "/metrics") => {
+            let text = shared.metrics.exposition();
+            send(200, "text/plain; version=0.0.4", &[], text.as_bytes())
+        }
+        ("POST", "/admin/shutdown") => {
+            let _ = send(200, "application/json", &[], b"{\"draining\":true}");
+            shared.shutdown.store(true, Relaxed);
+            let _ = TcpStream::connect(shared.addr); // unblock the acceptor
+                                                     // Whatever `close` promised, this thread is done after a
+                                                     // drain request.
+            Flow::Close
+        }
+        ("POST", endpoint @ ("/v1/sweep" | "/v1/recommend" | "/v1/predict" | "/v1/coschedule")) => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(s) => s,
+                Err(_) => {
+                    return send(
+                        400,
+                        "application/json",
+                        &[],
+                        &error_body("body is not UTF-8"),
+                    )
+                }
+            };
+            let parsed = match Json::parse(body) {
+                Ok(v) => v,
+                Err(e) => {
+                    return send(
+                        400,
+                        "application/json",
+                        &[],
+                        &error_body(&format!("malformed JSON: {e}")),
+                    )
+                }
+            };
+            let query = match Query::from_json(endpoint, &parsed) {
+                Ok(q) => q,
+                Err(e) => return send(400, "application/json", &[], &error_body(&e.0)),
+            };
+            let (reply_tx, reply_rx) = channel();
+            let job = Job {
+                key: query.canonical_key(),
+                query,
+                reply: reply_tx,
+                expires: Instant::now() + shared.deadline,
+            };
+            match shared.queue.try_send(job) {
+                Ok(()) => {
+                    shared.metrics.queue_depth.fetch_add(1, Relaxed);
+                }
+                Err(TrySendError::Full(_)) => {
+                    shared.metrics.shed.fetch_add(1, Relaxed);
+                    return send(
+                        429,
+                        "application/json",
+                        &[("Retry-After", "1".to_string())],
+                        &error_body("admission queue full; retry"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return send(
+                        503,
+                        "application/json",
+                        &[],
+                        &error_body("server is draining"),
+                    );
+                }
+            }
+            match reply_rx.recv_timeout(shared.deadline) {
+                Ok((answer, source)) => send(
+                    answer.status,
+                    "application/json",
+                    &[("x-pmemflow-cache", source.label().to_string())],
+                    answer.body.as_bytes(),
+                ),
+                Err(_) => {
+                    shared.metrics.deadline_missed.fetch_add(1, Relaxed);
+                    send(
+                        504,
+                        "application/json",
+                        &[],
+                        &error_body("deadline exceeded"),
+                    )
+                }
+            }
+        }
+        (_, "/healthz" | "/metrics") => send(
+            405,
+            "application/json",
+            &[("Allow", "GET".to_string())],
+            &error_body("method not allowed"),
+        ),
+        (
+            _,
+            "/v1/sweep" | "/v1/recommend" | "/v1/predict" | "/v1/coschedule" | "/admin/shutdown",
+        ) => send(
+            405,
+            "application/json",
+            &[("Allow", "POST".to_string())],
+            &error_body("method not allowed"),
+        ),
+        _ => send(
+            404,
+            "application/json",
+            &[],
+            &error_body("no such endpoint"),
+        ),
+    }
+}

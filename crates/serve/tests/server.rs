@@ -1,0 +1,335 @@
+//! End-to-end tests of the daemon over real loopback TCP.
+
+use pmemflow_serve::model::{Answer, Backend};
+use pmemflow_serve::query::Query;
+use pmemflow_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed response: status, headers (lowercased names), body.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').unwrap();
+        headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).unwrap();
+    Response {
+        status,
+        headers,
+        body: String::from_utf8(body).unwrap(),
+    }
+}
+
+fn raw_request(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// One request on a fresh connection.
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(raw_request(method, path, body).as_bytes())
+        .unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        cache_capacity: 32,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn serves_every_endpoint_and_shuts_down_cleanly() {
+    let server = Server::start(small_config()).unwrap();
+    let addr = server.addr();
+
+    let health = call(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let sweep = call(
+        addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"workload":"micro-2kb","ranks":8}"#,
+    );
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    assert!(sweep.body.contains("\"runs\":["));
+    assert_eq!(sweep.header("x-pmemflow-cache"), Some("miss"));
+
+    let rec = call(
+        addr,
+        "POST",
+        "/v1/recommend",
+        r#"{"workload":"micro-2kb","ranks":8}"#,
+    );
+    assert_eq!(rec.status, 200, "{}", rec.body);
+    assert!(rec.body.contains("\"rule_based\""));
+    assert!(rec.body.contains("\"model_driven\""));
+
+    let pred = call(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"micro-2kb","ranks":8,"config":"S-LocW"}"#,
+    );
+    assert_eq!(pred.status, 200, "{}", pred.body);
+    assert!(pred.body.contains("\"predicted_runtime_s\":"));
+
+    let co = call(
+        addr,
+        "POST",
+        "/v1/coschedule",
+        r#"{"tenants":[{"workload":"micro-2kb","ranks":8,"config":"S-LocW"},
+                       {"workload":"micro-2kb","ranks":8,"config":"P-LocR"}]}"#,
+    );
+    assert_eq!(co.status, 200, "{}", co.body);
+    assert!(co.body.contains("\"makespan_s\":"));
+
+    // Error mapping.
+    assert_eq!(call(addr, "POST", "/v1/sweep", "{not json").status, 400);
+    assert_eq!(
+        call(addr, "POST", "/v1/sweep", r#"{"workload":"hpl","ranks":8}"#).status,
+        400
+    );
+    assert_eq!(call(addr, "GET", "/v1/sweep", "").status, 405);
+    assert_eq!(call(addr, "POST", "/healthz", "").status, 405);
+    assert_eq!(call(addr, "GET", "/nope", "").status, 404);
+
+    // Metrics reflect the traffic above.
+    let metrics = call(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_requests_total{endpoint=\"/v1/sweep\"} 4"));
+    assert!(metrics.body.contains("pmemflow_serve_cache_misses_total 4"));
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_request_latency_seconds{quantile=\"0.99\"}"));
+
+    // Graceful drain: in-band shutdown, then the port must refuse work.
+    let bye = call(addr, "POST", "/admin/shutdown", "");
+    assert_eq!(bye.status, 200);
+    assert_eq!(server.join(), 0, "connections leaked past the drain");
+}
+
+#[test]
+fn cached_response_is_byte_identical_to_cold() {
+    let server = Server::start(small_config()).unwrap();
+    let addr = server.addr();
+    let body = r#"{"workload":"micro-2kb","ranks":8}"#;
+    let cold = call(addr, "POST", "/v1/predict", body);
+    let warm = call(addr, "POST", "/v1/predict", body);
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-pmemflow-cache"), Some("miss"));
+    assert_eq!(warm.header("x-pmemflow-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "cache must not change the bytes");
+    // A different spelling of the same question shares the cache line.
+    let folded = call(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"MICRO-2KB","ranks":8,"stack":"NVStream"}"#,
+    );
+    assert_eq!(folded.header("x-pmemflow-cache"), Some("hit"));
+    assert_eq!(folded.body, cold.body);
+    assert_eq!(server.cache_len(), 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn keep_alive_carries_multiple_requests() {
+    let server = Server::start(small_config()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        stream
+            .write_all(raw_request("GET", "/healthz", "").as_bytes())
+            .unwrap();
+        let r = read_response(&mut reader);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("connection"), Some("keep-alive"));
+    }
+    drop(stream);
+    server.shutdown();
+    server.join();
+}
+
+/// A backend that takes `delay` per answer — for probing queueing,
+/// shedding and deadlines without paying for simulations.
+struct SlowBackend {
+    delay: Duration,
+}
+
+impl Backend for SlowBackend {
+    fn answer(&self, query: &Query) -> Answer {
+        std::thread::sleep(self.delay);
+        Answer {
+            status: 200,
+            body: format!("{{\"key\":\"{}\"}}", query.canonical_key()),
+        }
+    }
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let server = Server::start_with_backend(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+        Arc::new(SlowBackend {
+            delay: Duration::from_millis(1200),
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Distinct keys so nothing coalesces: r1 occupies the worker, r2
+    // fills the queue, r3 must be shed.
+    let fire = |ranks: usize| {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let body = format!("{{\"workload\":\"micro-2kb\",\"ranks\":{ranks}}}");
+        s.write_all(raw_request("POST", "/v1/predict", &body).as_bytes())
+            .unwrap();
+        s
+    };
+    let _r1 = fire(1);
+    std::thread::sleep(Duration::from_millis(400)); // worker surely busy on r1
+    let _r2 = fire(2);
+    std::thread::sleep(Duration::from_millis(200)); // r2 parked in the queue
+    let shed = call(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"micro-2kb","ranks":3}"#,
+    );
+    assert_eq!(shed.status, 429);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(shed.body.contains("queue full"));
+
+    let metrics = call(addr, "GET", "/metrics", "");
+    assert!(metrics.body.contains("pmemflow_serve_shed_total 1"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn deadline_miss_answers_504() {
+    let server = Server::start_with_backend(
+        ServerConfig {
+            workers: 1,
+            deadline: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+        Arc::new(SlowBackend {
+            delay: Duration::from_millis(800),
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let r = call(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"micro-2kb","ranks":8}"#,
+    );
+    assert_eq!(r.status, 504);
+    assert!(r.body.contains("deadline"));
+    let metrics = call(addr, "GET", "/metrics", "");
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_deadline_missed_total 1"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn responses_are_byte_identical_across_worker_counts() {
+    let queries: [(&str, &str); 4] = [
+        ("/v1/sweep", r#"{"workload":"micro-2kb","ranks":8}"#),
+        ("/v1/recommend", r#"{"workload":"micro-2kb","ranks":8}"#),
+        (
+            "/v1/predict",
+            r#"{"workload":"micro-2kb","ranks":8,"stack":"nova"}"#,
+        ),
+        (
+            "/v1/coschedule",
+            r#"{"tenants":[{"workload":"micro-2kb","ranks":8,"config":"S-LocW"},
+                           {"workload":"micro-2kb","ranks":8,"config":"P-LocR"}]}"#,
+        ),
+    ];
+    let answers = |workers: usize| -> Vec<String> {
+        let server = Server::start(ServerConfig {
+            workers,
+            ..small_config()
+        })
+        .unwrap();
+        let out = queries
+            .iter()
+            .map(|(path, body)| {
+                let r = call(server.addr(), "POST", path, body);
+                assert_eq!(r.status, 200, "{path}: {}", r.body);
+                r.body
+            })
+            .collect();
+        server.shutdown();
+        server.join();
+        out
+    };
+    assert_eq!(answers(1), answers(4), "worker count changed the bytes");
+}

@@ -25,4 +25,4 @@ pub use apps::{
 };
 pub use import::{format_workflows, parse_workflows, ParseError};
 pub use spec::{ComponentSpec, ConcurrencyClass, IoPattern, SizeClass, WorkflowSpec};
-pub use suite::{paper_suite, Family, SuiteEntry};
+pub use suite::{paper_suite, Family, SuiteEntry, WORKLOAD_CHOICES};

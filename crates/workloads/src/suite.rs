@@ -50,6 +50,25 @@ impl Family {
         }
     }
 
+    /// Parse a family from a user-facing name. Accepts the CLI spellings
+    /// (`micro-64mb`, `gtc-matmult`, ...), the display names
+    /// (`GTC+MatrixMult`, ...), and the `-matmul`/`-matmult` variants,
+    /// case-insensitively. This is the single name table the CLI, the
+    /// arrival-stream parser, and the serving daemon all resolve through.
+    pub fn parse(name: &str) -> Option<Family> {
+        match name.to_ascii_lowercase().as_str() {
+            "micro-64mb" => Some(Family::Micro64MB),
+            "micro-2kb" => Some(Family::Micro2KB),
+            "gtc-readonly" | "gtc+readonly" => Some(Family::GtcReadOnly),
+            "gtc-matmult" | "gtc-matmul" | "gtc+matrixmult" => Some(Family::GtcMatMul),
+            "miniamr-readonly" | "miniamr+readonly" => Some(Family::MiniAmrReadOnly),
+            "miniamr-matmult" | "miniamr-matmul" | "miniamr+matrixmult" => {
+                Some(Family::MiniAmrMatMul)
+            }
+            _ => None,
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -131,9 +150,42 @@ pub fn paper_suite() -> Vec<SuiteEntry> {
         .collect()
 }
 
+/// Valid workload names for user-facing `--workload`-style options.
+pub const WORKLOAD_CHOICES: &str =
+    "micro-64mb, micro-2kb, gtc-readonly, gtc-matmult, miniamr-readonly, miniamr-matmult";
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_accepts_cli_and_display_spellings() {
+        for f in Family::all() {
+            assert_eq!(Family::parse(f.name()), Some(f), "{}", f.name());
+            assert_eq!(
+                Family::parse(&f.name().to_ascii_uppercase()),
+                Some(f),
+                "{}",
+                f.name()
+            );
+        }
+        assert_eq!(Family::parse("micro-64mb"), Some(Family::Micro64MB));
+        assert_eq!(Family::parse("GTC-MatMult"), Some(Family::GtcMatMul));
+        assert_eq!(Family::parse("gtc-matmul"), Some(Family::GtcMatMul));
+        assert_eq!(
+            Family::parse("miniamr-readonly"),
+            Some(Family::MiniAmrReadOnly)
+        );
+        assert_eq!(Family::parse("hpl"), None);
+        assert_eq!(Family::parse(""), None);
+    }
+
+    #[test]
+    fn choices_list_every_family() {
+        for name in WORKLOAD_CHOICES.split(", ") {
+            assert!(Family::parse(name).is_some(), "{name}");
+        }
+    }
 
     #[test]
     fn suite_has_18_entries() {

@@ -6,9 +6,7 @@
 
 use pmemflow_core::SchedConfig;
 use pmemflow_iostack::StackKind;
-use pmemflow_workloads::{
-    gtc_matmul, gtc_readonly, micro_2kb, micro_64mb, miniamr_matmul, miniamr_readonly, WorkflowSpec,
-};
+use pmemflow_workloads::{Family, WorkflowSpec};
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options.
@@ -119,19 +117,15 @@ impl Args {
 }
 
 /// Valid workload names for `--workload`.
-pub const WORKLOAD_CHOICES: &str =
-    "micro-64mb, micro-2kb, gtc-readonly, gtc-matmult, miniamr-readonly, miniamr-matmult";
+pub use pmemflow_workloads::WORKLOAD_CHOICES;
 
-/// Build a suite workload by name at the given rank count.
+/// Build a suite workload by name at the given rank count. Name resolution
+/// lives in [`pmemflow_workloads::Family::parse`] so the CLI and the
+/// serving daemon accept exactly the same spellings.
 pub fn workload_by_name(name: &str, ranks: usize) -> Result<WorkflowSpec, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "micro-64mb" => Ok(micro_64mb(ranks)),
-        "micro-2kb" => Ok(micro_2kb(ranks)),
-        "gtc-readonly" => Ok(gtc_readonly(ranks)),
-        "gtc-matmult" | "gtc-matmul" => Ok(gtc_matmul(ranks)),
-        "miniamr-readonly" => Ok(miniamr_readonly(ranks)),
-        "miniamr-matmult" | "miniamr-matmul" => Ok(miniamr_matmul(ranks)),
-        _ => Err(CliError::UnknownName {
+    match Family::parse(name) {
+        Some(family) => Ok(family.build(ranks)),
+        None => Err(CliError::UnknownName {
             kind: "workload",
             value: name.into(),
             choices: WORKLOAD_CHOICES,
@@ -141,12 +135,11 @@ pub fn workload_by_name(name: &str, ranks: usize) -> Result<WorkflowSpec, CliErr
 
 /// Resolve `--stack` (default NVStream).
 pub fn stack_by_name(name: Option<&str>) -> Result<StackKind, CliError> {
-    match name.map(str::to_ascii_lowercase).as_deref() {
-        None | Some("nvstream") => Ok(StackKind::NvStream),
-        Some("nova") => Ok(StackKind::Nova),
-        Some(other) => Err(CliError::UnknownName {
+    match name {
+        None => Ok(StackKind::NvStream),
+        Some(v) => StackKind::parse(v).ok_or_else(|| CliError::UnknownName {
             kind: "stack",
-            value: other.into(),
+            value: v.to_ascii_lowercase(),
             choices: "nvstream, nova",
         }),
     }

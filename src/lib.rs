@@ -14,6 +14,7 @@
 //! | [`core`] | Table I configurations, workflow executor, metrics, native mode |
 //! | [`sched`] | rule-based / model-driven / adaptive PMEM-aware schedulers |
 //! | [`cluster`] | online multi-node campaign scheduling over arrival streams |
+//! | [`serve`] | concurrent model-serving HTTP daemon with result cache + backpressure |
 //!
 //! This facade re-exports each crate under a short name and the most
 //! common types at the top level.
@@ -43,6 +44,7 @@ pub use pmemflow_iostack as iostack;
 pub use pmemflow_platform as platform;
 pub use pmemflow_pmem as pmem;
 pub use pmemflow_sched as sched;
+pub use pmemflow_serve as serve;
 pub use pmemflow_workloads as workloads;
 
 pub use pmemflow_core::{

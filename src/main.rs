@@ -9,6 +9,7 @@
 //! pmemflow suite        [--jobs N] [--out runs.jsonl] [--trace-dir DIR]
 //! pmemflow cluster      --nodes 4 --policy interference --arrivals poisson:rate=0.01,n=200 \
 //!                       --seed 42 [--jobs N] [--out campaign.jsonl]
+//! pmemflow serve        --port 7777 --workers 4 --cache-capacity 256
 //! pmemflow devicebench
 //! pmemflow help
 //! ```
@@ -24,6 +25,7 @@ use pmemflow::cluster::{
 use pmemflow::core::report::panel_table;
 use pmemflow::pmem::{bandwidth_table, headline_ratios, DeviceProfile, GB};
 use pmemflow::sched::{characterize, classify, plan, recommend, RuleThresholds};
+use pmemflow::serve::{Server, ServerConfig};
 use pmemflow::{
     decide, execute, full_matrix, map_ordered, paper_suite, run_matrix, sweep, ExecutionParams,
     SchedConfig,
@@ -63,6 +65,14 @@ COMMANDS:
                   --seed S          arrival-stream seed (default 42)
                   --jobs N          parallel prediction sims (default: cores)
                   --out FILE        per-job + campaign records (JSON Lines)
+  serve         run the model-serving HTTP daemon (see EXPERIMENTS.md)
+                  --port P            TCP port on 127.0.0.1 (default 7777; 0 = ephemeral)
+                  --workers N         worker threads (default: cores)
+                  --cache-capacity C  result-cache entries (default 256)
+                  --queue-capacity Q  admission queue depth (default 64)
+                  --deadline-ms MS    per-request deadline (default 30000)
+                  endpoints: POST /v1/sweep /v1/recommend /v1/predict
+                  /v1/coschedule; GET /healthz /metrics; POST /admin/shutdown
   devicebench   print the modeled §II-B device characterization
   help          this text
 
@@ -364,6 +374,50 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 std::fs::write(path, &jsonl)?;
                 println!("campaign records written to {path}");
             }
+        }
+        "serve" => {
+            let port: u16 = args.get_parse("port", 7777, "a TCP port (0..=65535)")?;
+            let workers: usize = args.get_parse(
+                "workers",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+                "a positive worker count",
+            )?;
+            let cache_capacity: usize =
+                args.get_parse("cache-capacity", 256, "a positive entry count")?;
+            let queue_capacity: usize =
+                args.get_parse("queue-capacity", 64, "a positive queue depth")?;
+            let deadline_ms: u64 =
+                args.get_parse("deadline-ms", 30_000, "a positive millisecond count")?;
+            for (option, value, expected) in [
+                ("workers", workers, "a positive worker count"),
+                ("cache-capacity", cache_capacity, "a positive entry count"),
+                ("queue-capacity", queue_capacity, "a positive queue depth"),
+                (
+                    "deadline-ms",
+                    deadline_ms as usize,
+                    "a positive millisecond count",
+                ),
+            ] {
+                if value == 0 {
+                    return Err(CliError::BadValue {
+                        option: option.into(),
+                        value: "0".into(),
+                        expected,
+                    }
+                    .into());
+                }
+            }
+            let server = Server::start(ServerConfig {
+                port,
+                workers,
+                cache_capacity,
+                queue_capacity,
+                deadline: std::time::Duration::from_millis(deadline_ms),
+                ..ServerConfig::default()
+            })?;
+            println!("listening on http://{}", server.addr());
+            println!("{workers} worker(s), cache {cache_capacity}, queue {queue_capacity}; POST /admin/shutdown to drain");
+            server.join();
         }
         "devicebench" => {
             let profile = DeviceProfile::optane_gen1();

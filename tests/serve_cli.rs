@@ -1,0 +1,92 @@
+//! End-to-end test of `pmemflow serve`: boot the real binary on an
+//! ephemeral port, exercise each endpoint class, drain it, and check the
+//! exit status. This is the same sequence the CI `serve-smoke` step runs
+//! against the release binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("daemon reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Spawn the daemon and scrape its address from the first banner line.
+/// The returned reader holds the stdout pipe open — dropping it would
+/// EPIPE the daemon's next `println!`.
+fn spawn_daemon() -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pmemflow"))
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first_line = String::new();
+    reader
+        .read_line(&mut first_line)
+        .expect("daemon announces its address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line:?}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+#[test]
+fn serve_smoke_boot_query_drain() {
+    let (mut child, addr, _stdout) = spawn_daemon();
+
+    let (status, body) = request(&addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"micro-2kb","ranks":8}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"predicted_runtime_s\":"));
+
+    let (status, body) = request(&addr, "POST", "/v1/predict", "{broken");
+    assert_eq!(status, 400);
+    assert!(body.contains("malformed JSON"));
+
+    let (status, body) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("pmemflow_serve_requests_total{endpoint=\"/v1/predict\"} 2"));
+    assert!(body.contains("pmemflow_serve_cache_misses_total 1"));
+
+    let (status, _) = request(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("daemon exits after drain");
+    assert!(exit.success(), "daemon exited with {exit}");
+}
