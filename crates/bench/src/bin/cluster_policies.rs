@@ -43,6 +43,7 @@ fn main() {
             arrivals: ArrivalSpec::parse(spec).expect("stream spec"),
             seed,
             exec: exec.clone(),
+            ..CampaignConfig::default()
         };
         let oracle =
             Oracle::build(&config.arrivals.alphabet(), &config.exec, jobs).expect("oracle warm-up");

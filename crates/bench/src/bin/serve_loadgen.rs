@@ -18,7 +18,16 @@
 //!
 //! ```text
 //! serve_loadgen [--requests N] [--clients C] [--workers W] [--seed S]
+//!               [--fault-rate R]
 //! ```
+//!
+//! With `--fault-rate R > 0` a third pass replays the same sequence
+//! against a server whose backend panics on a deterministic cadence
+//! (`FaultInjectingBackend`): every client retries 500s with seeded,
+//! jittered exponential backoff, and the pass reports **goodput** — the
+//! rate of requests that ultimately succeeded — plus the daemon's panic
+//! and worker-restart counters. The pass asserts no request hangs and no
+//! retry budget is exhausted: the daemon degrades, it does not wedge.
 
 use pmemflow_des::rng::SplitMix64;
 use pmemflow_serve::{Server, ServerConfig};
@@ -226,11 +235,80 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Replay `sequence` against a fault-injecting server: every request
+/// retries on 500 with seeded jittered exponential backoff. Returns
+/// `(elapsed, succeeded, retries, exhausted)`.
+fn run_chaos_pass(
+    addr: SocketAddr,
+    queries: &[LoadQuery],
+    sequence: &[usize],
+    clients: usize,
+    seed: u64,
+) -> (Duration, usize, usize, usize) {
+    let next = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let exhausted = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients.max(1) {
+            let (next, ok, retries, exhausted) = (&next, &ok, &retries, &exhausted);
+            scope.spawn(move || {
+                let mut rng =
+                    SplitMix64::new(seed ^ (client as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                loop {
+                    let pos = next.fetch_add(1, Relaxed);
+                    if pos >= sequence.len() {
+                        break;
+                    }
+                    let q = &queries[sequence[pos]];
+                    let mut attempt = 0u32;
+                    loop {
+                        // A read timeout here would panic the client: that
+                        // is the no-hung-requests assertion — every 500 is
+                        // delivered promptly, never left to rot.
+                        let (status, body) = http_exchange(&mut stream, &mut reader, q);
+                        if status == 200 {
+                            ok.fetch_add(1, Relaxed);
+                            break;
+                        }
+                        assert_eq!(status, 500, "{}: unexpected {status}: {body}", q.path);
+                        attempt += 1;
+                        if attempt >= 8 {
+                            exhausted.fetch_add(1, Relaxed);
+                            break;
+                        }
+                        retries.fetch_add(1, Relaxed);
+                        // 2^attempt ms plus up to 1ms of seeded jitter, so
+                        // retry storms decorrelate without losing replay
+                        // determinism of the schedule itself.
+                        let backoff_us =
+                            (1u64 << attempt.min(6)) * 1000 + (rng.next_f64() * 1000.0) as u64;
+                        std::thread::sleep(Duration::from_micros(backoff_us));
+                    }
+                }
+            });
+        }
+    });
+    (
+        started.elapsed(),
+        ok.load(Relaxed),
+        retries.load(Relaxed),
+        exhausted.load(Relaxed),
+    )
+}
+
 fn main() {
     let requests: usize = arg("--requests", 400);
     let clients: usize = arg("--clients", 4);
     let workers: usize = arg("--workers", 2);
     let seed: u64 = arg("--seed", 42);
+    let fault_rate: f64 = arg("--fault-rate", 0.0);
 
     let queries = universe();
     let zipf = Zipf::new(queries.len(), 1.1);
@@ -296,6 +374,55 @@ fn main() {
     );
     reference.shutdown();
     reference.join();
+
+    if fault_rate > 0.0 {
+        println!("\nchaos: same sequence against --fault-rate {fault_rate} (panic every ~{:.0}th compute)",
+            1.0 / fault_rate);
+        // Injected panics are the point of this pass; keep their
+        // backtraces out of the report while leaving real panics loud.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected backend fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+        let chaos = Server::start(ServerConfig {
+            workers,
+            fault_rate,
+            ..ServerConfig::default()
+        })
+        .expect("chaos server boots");
+        let (elapsed, ok, retries, exhausted) =
+            run_chaos_pass(chaos.addr(), &queries, &sequence, clients, seed);
+        // Let the last respawn land before scraping counters.
+        std::thread::sleep(Duration::from_millis(200));
+        let m = chaos.metrics();
+        let panics = m.panics.load(Relaxed);
+        let restarts = m.worker_restarts.load(Relaxed);
+        println!(
+            "chaos: {ok}/{} ok ({retries} retries, {exhausted} gave up) in {:.3}s = {:.1} req/s goodput",
+            sequence.len(),
+            elapsed.as_secs_f64(),
+            ok as f64 / elapsed.as_secs_f64(),
+        );
+        println!("chaos: {panics} injected panics, {restarts} worker respawns, 0 hung requests");
+        assert!(
+            panics > 0,
+            "fault injection never fired; raise --requests or --fault-rate"
+        );
+        assert!(
+            restarts > 0 && restarts <= panics,
+            "respawns ({restarts}) out of line with panics ({panics})"
+        );
+        assert_eq!(exhausted, 0, "requests exhausted their retry budget");
+        assert_eq!(ok, sequence.len(), "every request must eventually succeed");
+        chaos.shutdown();
+        assert_eq!(chaos.join(), 0, "hung connections after the chaos pass");
+    }
 
     if warm_tput / cold_tput < 10.0 {
         println!("WARNING: warm/cold speedup below 10x");

@@ -1,34 +1,61 @@
-//! The online cluster campaign: admit, queue, place, drain.
+//! The online cluster campaign: admit, queue, place, drain — and recover.
 //!
 //! A campaign serves a stream of workflow arrivals over `N` modeled nodes.
 //! The loop is an event-driven simulation one level above the per-workflow
-//! DES: its events are arrivals and job completions, and the service-time
-//! model for each running job comes from the device model below it.
+//! DES: its events are arrivals, job completions, scheduled faults, and
+//! backoff expiries, and the service-time model for each running job comes
+//! from the device model below it.
 //!
 //! ## Service model
 //!
-//! Each job carries `work` — its predicted solo runtime (from the oracle's
-//! per-configuration sweep) in *solo-seconds*. While a set `S` of jobs is
-//! resident on a node, every job `j ∈ S` progresses at rate
-//! `1 / slowdown_j(S)`, where the slowdowns come from co-simulating `S`
-//! against the shared PMEM device ([`Oracle::corun_slowdowns`], memoized
-//! per multiset). Whenever `S` changes — an admission or a completion —
-//! the node is re-priced and remaining work carries over. This is a
-//! quantized mean-field approximation: interference is exact for each
-//! resident set, held piecewise-constant between membership changes.
+//! Each job carries `solo` — its predicted solo runtime (from the oracle's
+//! per-configuration sweep) in *solo-seconds* — and `progress`, how many of
+//! those it has banked. While a set `S` of jobs is resident on a node,
+//! every job `j ∈ S` progresses at rate
+//! `1 / (slowdown_j(S) · degrade · (1 + f))`, where the slowdowns come
+//! from co-simulating `S` against the shared PMEM device
+//! ([`Oracle::corun_slowdowns`], memoized per multiset), `degrade` is the
+//! node's transient bandwidth-class penalty from the fault plan, and `f`
+//! is the checkpoint tax (below). Whenever `S` changes — an admission, a
+//! completion, or an interruption — the node is re-priced and progress
+//! carries over. This is a quantized mean-field approximation:
+//! interference is exact for each resident set, held piecewise-constant
+//! between membership changes.
+//!
+//! ## Faults and checkpoint/restart
+//!
+//! A [`FaultSpec`] expands into a deterministic [`FaultPlan`]: per-node
+//! crash/repair and degradation windows plus per-attempt job failures.
+//! When checkpointing is on ([`CheckpointSpec::interval`] > 0), every job
+//! writes a checkpoint image into node-local PMEM each `interval`
+//! solo-seconds; the write is charged through the I/O-stack cost model
+//! ([`snapshot_sw_time`](../../pmemflow_iostack/struct.StackCostModel.html)),
+//! so heavier stacks pay a bigger tax `f = image_cost / interval` exactly
+//! as the paper couples software cost to device latency. On a crash (or a
+//! job-level failure) every resident is interrupted: its progress rolls
+//! back to the last checkpoint boundary (to zero without checkpointing),
+//! the difference is booked as *lost work*, and the job is re-queued with
+//! exponential backoff — keeping its original arrival priority and its
+//! original configuration (a checkpoint image is only valid under the
+//! configuration that wrote it). A job interrupted more times than its
+//! retry budget is reported as `failed` instead of silently vanishing:
+//! every submission ends in exactly one job record.
 //!
 //! ## Determinism
 //!
 //! Everything is ordered by `(time, id)` with total f64 comparisons, the
-//! arrival stream is seeded, and all parallelism (`jobs`) lives in caches
-//! whose values are bit-identical however they are computed — so a
-//! campaign's JSONL is byte-identical for any `--jobs` and across runs.
+//! arrival stream and the fault plan are seeded independently, and all
+//! parallelism (`jobs`) lives in caches whose values are bit-identical
+//! however they are computed — so a campaign's JSONL is byte-identical
+//! for any `--jobs` and across runs.
 
 use crate::arrivals::{draw_workload, generate_open, Arrival, ArrivalSpec};
 use crate::policy::{NodeView, Policy, QueuedJob, ResidentView};
 use crate::predict::{Oracle, TenantKey};
 use pmemflow_core::{json_escape, json_f64, ExecError, ExecutionParams, SchedConfig};
 use pmemflow_des::rng::SplitMix64;
+use pmemflow_des::{Direction, Locality};
+use pmemflow_fault::{CheckpointSpec, FaultEventKind, FaultPlan, FaultSpec};
 use std::collections::VecDeque;
 
 /// Runtime threshold for bounded slowdown (seconds): jobs shorter than
@@ -47,6 +74,28 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Per-node execution parameters (device profile, I/O stack, ...).
     pub exec: ExecutionParams,
+    /// Fault-injection schedule (default: nothing ever breaks).
+    pub faults: FaultSpec,
+    /// Checkpoint/restart parameters (default: checkpointing off — an
+    /// interrupted job restarts from scratch).
+    pub checkpoint: CheckpointSpec,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            nodes: 1,
+            arrivals: ArrivalSpec::Poisson {
+                rate: 0.01,
+                count: 0,
+                mix: pmemflow_workloads::Family::all().to_vec(),
+            },
+            seed: 0,
+            exec: ExecutionParams::default(),
+            faults: FaultSpec::default(),
+            checkpoint: CheckpointSpec::default(),
+        }
+    }
 }
 
 /// Errors from running a campaign.
@@ -84,22 +133,31 @@ pub struct JobRecord {
     pub workflow: String,
     /// Ranks per component.
     pub ranks: usize,
-    /// Configuration it ran under.
+    /// Configuration it ran under (pinned across restarts).
     pub config: SchedConfig,
-    /// Node it ran on.
+    /// Node it ran on last.
     pub node: usize,
     /// Submission time.
     pub arrival: f64,
-    /// Admission time.
+    /// First admission time (restarts do not reset it).
     pub start: f64,
-    /// Completion time.
+    /// Completion time — or, for a failed job, the time of the final
+    /// interruption that exhausted its retry budget.
     pub finish: f64,
     /// Predicted solo runtime under `config` (the job's work).
     pub solo: f64,
+    /// How many times the job was interrupted and re-queued.
+    pub restarts: u32,
+    /// Solo-seconds of progress rolled back across all interruptions.
+    pub lost_work: f64,
+    /// Wall-seconds spent writing checkpoint images into local PMEM.
+    pub ckpt_overhead: f64,
+    /// Whether the job ran to completion (`false`: retry budget exhausted).
+    pub completed: bool,
 }
 
 impl JobRecord {
-    /// Queue wait: admission − submission.
+    /// Queue wait: first admission − submission.
     pub fn wait(&self) -> f64 {
         self.start - self.arrival
     }
@@ -109,7 +167,8 @@ impl JobRecord {
         self.finish - self.arrival
     }
 
-    /// Interference stretch while running: service time over solo time.
+    /// Stretch since first admission (interference, faults, requeue delays
+    /// and checkpoint tax included): time in service over solo time.
     pub fn stretch(&self) -> f64 {
         (self.finish - self.start) / self.solo
     }
@@ -117,6 +176,15 @@ impl JobRecord {
     /// Bounded slowdown: `max(response / max(solo, tau), 1)`.
     pub fn bounded_slowdown(&self, tau: f64) -> f64 {
         (self.response() / self.solo.max(tau)).max(1.0)
+    }
+
+    /// JSONL `outcome` field value.
+    pub fn outcome(&self) -> &'static str {
+        if self.completed {
+            "completed"
+        } else {
+            "failed"
+        }
     }
 }
 
@@ -129,9 +197,10 @@ pub struct CampaignOutcome {
     pub seed: u64,
     /// Node count.
     pub nodes: usize,
-    /// Every served job, in submission order.
+    /// Every served job, in submission order — completed *and* failed:
+    /// each submission produces exactly one record.
     pub jobs: Vec<JobRecord>,
-    /// Time the last job finished.
+    /// Time the last job finished (or failed).
     pub makespan: f64,
     /// Per-node busy core-seconds (both sockets).
     pub busy_core_secs: Vec<f64>,
@@ -145,14 +214,45 @@ pub struct CampaignOutcome {
 }
 
 impl CampaignOutcome {
-    /// Mean queue wait, seconds.
-    pub fn mean_wait(&self) -> f64 {
-        mean(self.jobs.iter().map(JobRecord::wait))
+    /// The jobs that ran to completion (queueing aggregates cover these;
+    /// failed jobs are counted separately, not averaged in).
+    pub fn completed_jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(|j| j.completed)
     }
 
-    /// 95th-percentile queue wait, seconds (nearest-rank).
+    /// How many jobs completed.
+    pub fn completed(&self) -> usize {
+        self.completed_jobs().count()
+    }
+
+    /// How many jobs exhausted their retry budget.
+    pub fn failed(&self) -> usize {
+        self.jobs.len() - self.completed()
+    }
+
+    /// Total interruptions across all jobs.
+    pub fn total_restarts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.restarts as u64).sum()
+    }
+
+    /// Total solo-seconds rolled back across all jobs.
+    pub fn total_lost_work(&self) -> f64 {
+        self.jobs.iter().map(|j| j.lost_work).sum()
+    }
+
+    /// Total wall-seconds spent writing checkpoints across all jobs.
+    pub fn total_ckpt_overhead(&self) -> f64 {
+        self.jobs.iter().map(|j| j.ckpt_overhead).sum()
+    }
+
+    /// Mean queue wait over completed jobs, seconds.
+    pub fn mean_wait(&self) -> f64 {
+        mean(self.completed_jobs().map(JobRecord::wait))
+    }
+
+    /// 95th-percentile queue wait over completed jobs (nearest-rank).
     pub fn p95_wait(&self) -> f64 {
-        let mut waits: Vec<f64> = self.jobs.iter().map(JobRecord::wait).collect();
+        let mut waits: Vec<f64> = self.completed_jobs().map(JobRecord::wait).collect();
         if waits.is_empty() {
             return 0.0;
         }
@@ -160,20 +260,19 @@ impl CampaignOutcome {
         waits[((waits.len() as f64 * 0.95).ceil() as usize).clamp(1, waits.len()) - 1]
     }
 
-    /// Mean response time, seconds.
+    /// Mean response time over completed jobs, seconds.
     pub fn mean_response(&self) -> f64 {
-        mean(self.jobs.iter().map(JobRecord::response))
+        mean(self.completed_jobs().map(JobRecord::response))
     }
 
-    /// Mean bounded slowdown (tau = [`BSLD_TAU`]).
+    /// Mean bounded slowdown over completed jobs (tau = [`BSLD_TAU`]).
     pub fn mean_bounded_slowdown(&self) -> f64 {
-        mean(self.jobs.iter().map(|j| j.bounded_slowdown(BSLD_TAU)))
+        mean(self.completed_jobs().map(|j| j.bounded_slowdown(BSLD_TAU)))
     }
 
-    /// Maximum bounded slowdown.
+    /// Maximum bounded slowdown over completed jobs.
     pub fn max_bounded_slowdown(&self) -> f64 {
-        self.jobs
-            .iter()
+        self.completed_jobs()
             .map(|j| j.bounded_slowdown(BSLD_TAU))
             .fold(1.0, f64::max)
     }
@@ -197,7 +296,8 @@ impl CampaignOutcome {
                 "{{\"kind\":\"job\",\"policy\":\"{}\",\"seed\":{},\"id\":{},\"workflow\":\"{}\",\
                  \"ranks\":{},\"config\":\"{}\",\"node\":{},\"arrival_s\":{},\"start_s\":{},\
                  \"finish_s\":{},\"wait_s\":{},\"response_s\":{},\"solo_s\":{},\"stretch\":{},\
-                 \"bounded_slowdown\":{}}}\n",
+                 \"bounded_slowdown\":{},\"restarts\":{},\"lost_work_s\":{},\
+                 \"ckpt_overhead_s\":{},\"outcome\":\"{}\"}}\n",
                 json_escape(&self.policy),
                 self.seed,
                 j.id,
@@ -213,6 +313,10 @@ impl CampaignOutcome {
                 json_f64(j.solo),
                 json_f64(j.stretch()),
                 json_f64(j.bounded_slowdown(BSLD_TAU)),
+                j.restarts,
+                json_f64(j.lost_work),
+                json_f64(j.ckpt_overhead),
+                j.outcome(),
             ));
         }
         let util = self
@@ -223,18 +327,25 @@ impl CampaignOutcome {
             .join(",");
         out.push_str(&format!(
             "{{\"kind\":\"campaign\",\"policy\":\"{}\",\"seed\":{},\"nodes\":{},\"jobs\":{},\
-             \"makespan_s\":{},\"mean_wait_s\":{},\"p95_wait_s\":{},\"mean_response_s\":{},\
-             \"mean_bounded_slowdown\":{},\"max_bounded_slowdown\":{},\"utilization\":[{}]}}\n",
+             \"completed\":{},\"failed\":{},\"makespan_s\":{},\"mean_wait_s\":{},\
+             \"p95_wait_s\":{},\"mean_response_s\":{},\"mean_bounded_slowdown\":{},\
+             \"max_bounded_slowdown\":{},\"total_restarts\":{},\"total_lost_work_s\":{},\
+             \"total_ckpt_overhead_s\":{},\"utilization\":[{}]}}\n",
             json_escape(&self.policy),
             self.seed,
             self.nodes,
             self.jobs.len(),
+            self.completed(),
+            self.failed(),
             json_f64(self.makespan),
             json_f64(self.mean_wait()),
             json_f64(self.p95_wait()),
             json_f64(self.mean_response()),
             json_f64(self.mean_bounded_slowdown()),
             json_f64(self.max_bounded_slowdown()),
+            self.total_restarts(),
+            json_f64(self.total_lost_work()),
+            json_f64(self.total_ckpt_overhead()),
             util,
         ));
         out
@@ -260,25 +371,48 @@ struct Running {
     ranks: usize,
     config: SchedConfig,
     arrival: f64,
-    start: f64,
+    /// First admission time, preserved across restarts.
+    first_start: f64,
     client: Option<usize>,
-    /// Solo-seconds of work left.
-    remaining: f64,
     /// Predicted solo runtime under `config`.
     solo: f64,
+    /// Solo-seconds of work banked so far (monotone within an attempt).
+    progress: f64,
+    restarts: u32,
+    lost_work: f64,
+    ckpt_overhead: f64,
     /// Current rate divisor from the node's resident set.
     slowdown: f64,
+    /// Solo-progress at which this attempt dies of its own cause (drawn
+    /// from the fault plan at placement; always < `solo` when present).
+    fail_at: Option<f64>,
 }
 
 impl Running {
-    fn projected_finish(&self, now: f64) -> f64 {
-        now + self.remaining * self.slowdown
+    /// The progress at which the next per-job event fires: the attempt's
+    /// own failure point if one is scheduled, completion otherwise.
+    fn target(&self) -> f64 {
+        self.fail_at.unwrap_or(self.solo)
+    }
+
+    /// Wall-seconds per solo-second on a node with penalty `degrade` and
+    /// checkpoint multiplier `ckpt_mult`.
+    fn wall_mult(&self, degrade: f64, ckpt_mult: f64) -> f64 {
+        self.slowdown * degrade * ckpt_mult
+    }
+
+    fn projected_event(&self, now: f64, degrade: f64, ckpt_mult: f64) -> f64 {
+        now + (self.target() - self.progress).max(0.0) * self.wall_mult(degrade, ckpt_mult)
     }
 }
 
 struct NodeState {
     running: Vec<Running>,
     busy_core_secs: f64,
+    /// Whether the node is alive (crashed nodes hold no jobs).
+    up: bool,
+    /// Transient bandwidth-class penalty (1.0 = healthy).
+    degrade: f64,
 }
 
 struct Queued {
@@ -287,6 +421,80 @@ struct Queued {
     ranks: usize,
     arrival: f64,
     client: Option<usize>,
+    restarts: u32,
+    /// Solo-seconds of checkpointed progress the next attempt resumes from.
+    resume: f64,
+    /// Earliest time the job may be placed again (backoff after restarts).
+    eligible: f64,
+    lost_work: f64,
+    ckpt_overhead: f64,
+    /// First admission time, once the job has started at least once.
+    first_start: Option<f64>,
+    /// Configuration pinned by the first attempt: a checkpoint image is
+    /// only valid under the configuration that wrote it.
+    config: Option<SchedConfig>,
+}
+
+/// Keep the queue sorted by (arrival, id): a restarted job re-enters at
+/// its original priority, not at the back.
+fn enqueue(queue: &mut Vec<Queued>, q: Queued) {
+    let at = queue
+        .iter()
+        .position(|o| (o.arrival, o.id) > (q.arrival, q.id))
+        .unwrap_or(queue.len());
+    queue.insert(at, q);
+}
+
+/// What became of an interrupted attempt.
+enum Interrupted {
+    /// Back to the queue, to resume from `resume` after the backoff.
+    Requeue(Queued),
+    /// Retry budget exhausted: the submission ends here.
+    Failed(JobRecord),
+}
+
+/// Roll an interrupted attempt back to its last checkpoint and decide its
+/// fate under the retry budget.
+fn interrupt(r: Running, node: usize, now: f64, ckpt: &CheckpointSpec) -> Interrupted {
+    let resume = if ckpt.interval > 0.0 {
+        ((r.progress / ckpt.interval).floor() * ckpt.interval).min(r.progress)
+    } else {
+        0.0
+    };
+    let lost_work = r.lost_work + (r.progress - resume).max(0.0);
+    let restarts = r.restarts + 1;
+    if restarts > ckpt.retry_budget {
+        return Interrupted::Failed(JobRecord {
+            id: r.id,
+            workflow: r.workflow,
+            ranks: r.ranks,
+            config: r.config,
+            node,
+            arrival: r.arrival,
+            start: r.first_start,
+            finish: now,
+            solo: r.solo,
+            restarts,
+            lost_work,
+            ckpt_overhead: r.ckpt_overhead,
+            completed: false,
+        });
+    }
+    let backoff = ckpt.backoff_base * 2f64.powi(restarts.saturating_sub(1) as i32);
+    Interrupted::Requeue(Queued {
+        id: r.id,
+        workflow: r.workflow,
+        ranks: r.ranks,
+        arrival: r.arrival,
+        client: r.client,
+        restarts,
+        resume,
+        eligible: now + backoff,
+        lost_work,
+        ckpt_overhead: r.ckpt_overhead,
+        first_start: Some(r.first_start),
+        config: Some(r.config),
+    })
 }
 
 /// Closed-loop stream state inside the loop.
@@ -336,6 +544,8 @@ fn validate(config: &CampaignConfig) -> Result<(), ClusterError> {
     if config.nodes == 0 {
         return Err(ClusterError::Config("at least one node required".into()));
     }
+    config.faults.validate().map_err(ClusterError::Config)?;
+    config.checkpoint.validate().map_err(ClusterError::Config)?;
     let cores_per_socket = config.exec.node.cores_per_socket();
     // Reject alphabet entries that cannot run even on an empty node —
     // better a config error up front than a stuck queue later.
@@ -357,6 +567,28 @@ pub fn run_campaign_with_oracle(
 ) -> Result<CampaignOutcome, ClusterError> {
     validate(config)?;
     let cores_per_socket = config.exec.node.cores_per_socket();
+    let ckpt = &config.checkpoint;
+
+    // Checkpoint tax: one image of `state_bytes` (written as
+    // `object_bytes` objects) into local PMEM every `interval`
+    // solo-seconds, charged through the same stack cost model the
+    // in-situ I/O pays — heavier software stacks tax checkpoints harder.
+    let ckpt_frac = if ckpt.interval > 0.0 {
+        let cost = config
+            .exec
+            .cost_override
+            .unwrap_or_else(|| config.exec.stack.cost_model());
+        let objects = ckpt.state_bytes.div_ceil(ckpt.object_bytes);
+        let latency = config
+            .exec
+            .profile
+            .latency(Direction::Write, Locality::Local);
+        cost.snapshot_sw_time(Direction::Write, objects, ckpt.object_bytes, latency) / ckpt.interval
+    } else {
+        0.0
+    };
+    let ckpt_mult = 1.0 + ckpt_frac;
+    let mut plan = FaultPlan::new(&config.faults, config.nodes);
 
     let mut pending: VecDeque<Arrival> = VecDeque::new();
     let mut closed: Option<ClosedLoop> = None;
@@ -391,6 +623,8 @@ pub fn run_campaign_with_oracle(
         .map(|_| NodeState {
             running: Vec::new(),
             busy_core_secs: 0.0,
+            up: true,
+            degrade: 1.0,
         })
         .collect();
     let mut queue: Vec<Queued> = Vec::new();
@@ -399,7 +633,7 @@ pub fn run_campaign_with_oracle(
     let mut makespan = 0.0f64;
 
     // Re-price a node after a membership change: one co-simulation of the
-    // resident multiset (memoized), remaining work carries over.
+    // resident multiset (memoized), progress carries over.
     let reprice = |node: &mut NodeState| -> Result<(), ClusterError> {
         let keys: Vec<TenantKey> = node
             .running
@@ -414,39 +648,131 @@ pub fn run_campaign_with_oracle(
     };
 
     loop {
-        // Next event: the earliest arrival or projected completion.
+        // Stop once nothing is in flight anywhere; the fault plan is an
+        // infinite stream, so it only counts as an event source while
+        // there is work it could affect.
+        let work_remains =
+            !pending.is_empty() || !queue.is_empty() || nodes.iter().any(|n| !n.running.is_empty());
+        if !work_remains {
+            break;
+        }
+
+        // Next event: the earliest of (arrival, per-job completion or
+        // self-failure on an up node, backoff expiry, scheduled fault).
         let next_arrival = pending.front().map(|a| a.time);
-        let next_completion = nodes
+        let next_job_event = nodes
             .iter()
-            .flat_map(|n| n.running.iter().map(|r| r.projected_finish(now)))
+            .filter(|n| n.up)
+            .flat_map(|n| {
+                n.running
+                    .iter()
+                    .map(move |r| r.projected_event(now, n.degrade, ckpt_mult))
+            })
             .min_by(f64::total_cmp);
-        let t = match (next_arrival, next_completion) {
-            (Some(a), Some(c)) => a.min(c),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (None, None) => break,
+        let next_eligible = queue
+            .iter()
+            .map(|q| q.eligible)
+            .filter(|&e| e > now + 1e-9)
+            .min_by(f64::total_cmp);
+        let next_fault = plan.peek_time();
+        let Some(t) = [next_arrival, next_job_event, next_eligible, next_fault]
+            .into_iter()
+            .flatten()
+            .min_by(f64::total_cmp)
+        else {
+            // Work remains but no event can release it: the post-loop
+            // queue check reports the stuck jobs.
+            break;
         };
         debug_assert!(t >= now - 1e-9, "time went backwards: {t} < {now}");
+        let t = t.max(now);
         let dt = (t - now).max(0.0);
 
-        // Advance running work and busy time to t.
+        // Advance running work and busy time to t. Rates are piecewise
+        // constant on [now, t] because every rate change (membership,
+        // degrade window, crash) is itself an event candidate above.
         for node in &mut nodes {
+            if !node.up {
+                continue;
+            }
+            let env_mult = node.degrade * ckpt_mult;
             for r in &mut node.running {
-                r.remaining = (r.remaining - dt / r.slowdown).max(0.0);
+                r.progress += dt / (r.slowdown * env_mult);
+                // Of the dt wall-seconds, the checkpoint writes claim the
+                // f/(1+f) share (both numerator and denominator stretch
+                // with slowdown and degrade alike).
+                r.ckpt_overhead += dt * ckpt_frac / ckpt_mult;
                 node.busy_core_secs += 2.0 * r.ranks as f64 * dt;
             }
         }
         now = t;
 
-        // Completions at t (tolerance for float drift), deterministic order
-        // by (node, id).
         let mut changed: Vec<usize> = Vec::new();
         let mut finished_clients: Vec<usize> = Vec::new();
+
+        // Scheduled faults due at t, in the plan's deterministic order.
+        while plan.peek_time().is_some_and(|ft| ft <= now + 1e-9) {
+            let e = plan.pop().expect("peeked event exists");
+            match e.kind {
+                FaultEventKind::Crash => {
+                    let node = &mut nodes[e.node];
+                    node.up = false;
+                    // Evacuate every resident back to its last checkpoint.
+                    let evacuated: Vec<Running> = node.running.drain(..).collect();
+                    for r in evacuated {
+                        let client = r.client;
+                        match interrupt(r, e.node, now, ckpt) {
+                            Interrupted::Requeue(q) => enqueue(&mut queue, q),
+                            Interrupted::Failed(rec) => {
+                                makespan = makespan.max(now);
+                                records.push(rec);
+                                if let Some(c) = client {
+                                    finished_clients.push(c);
+                                }
+                            }
+                        }
+                    }
+                }
+                FaultEventKind::Repair => nodes[e.node].up = true,
+                FaultEventKind::DegradeStart => {
+                    nodes[e.node].degrade = config.faults.degrade_factor
+                }
+                FaultEventKind::DegradeEnd => nodes[e.node].degrade = 1.0,
+            }
+        }
+
+        // Per-job events at t (tolerance for float drift), deterministic
+        // order by (node, id): completions, or the attempt's own failure.
         for (ni, node) in nodes.iter_mut().enumerate() {
+            if !node.up {
+                continue;
+            }
             let mut i = 0;
             while i < node.running.len() {
-                if node.running[i].projected_finish(now) <= now + 1e-9 {
-                    let r = node.running.remove(i);
+                let due =
+                    node.running[i].projected_event(now, node.degrade, ckpt_mult) <= now + 1e-9;
+                if !due {
+                    i += 1;
+                    continue;
+                }
+                let r = node.running.remove(i);
+                if !changed.contains(&ni) {
+                    changed.push(ni);
+                }
+                if r.fail_at.is_some() {
+                    // The attempt dies of its own cause (fail_at < solo).
+                    let client = r.client;
+                    match interrupt(r, ni, now, ckpt) {
+                        Interrupted::Requeue(q) => enqueue(&mut queue, q),
+                        Interrupted::Failed(rec) => {
+                            makespan = makespan.max(now);
+                            records.push(rec);
+                            if let Some(c) = client {
+                                finished_clients.push(c);
+                            }
+                        }
+                    }
+                } else {
                     makespan = makespan.max(now);
                     if let Some(c) = r.client {
                         finished_clients.push(c);
@@ -458,19 +784,19 @@ pub fn run_campaign_with_oracle(
                         config: r.config,
                         node: ni,
                         arrival: r.arrival,
-                        start: r.start,
+                        start: r.first_start,
                         finish: now,
                         solo: r.solo,
+                        restarts: r.restarts,
+                        lost_work: r.lost_work,
+                        ckpt_overhead: r.ckpt_overhead,
+                        completed: true,
                     });
-                    if !changed.contains(&ni) {
-                        changed.push(ni);
-                    }
-                } else {
-                    i += 1;
                 }
             }
         }
-        // Closed loop: each completion triggers its client's next think.
+        // Closed loop: each finished submission (completed or failed)
+        // triggers its client's next think.
         if let Some(state) = closed.as_mut() {
             finished_clients.sort_unstable();
             for c in finished_clients {
@@ -488,13 +814,23 @@ pub fn run_campaign_with_oracle(
         // Arrivals at t.
         while pending.front().is_some_and(|a| a.time <= now + 1e-9) {
             let a = pending.pop_front().expect("front exists");
-            queue.push(Queued {
-                id: a.id,
-                workflow: a.workflow,
-                ranks: a.ranks,
-                arrival: a.time,
-                client: a.client,
-            });
+            enqueue(
+                &mut queue,
+                Queued {
+                    id: a.id,
+                    workflow: a.workflow,
+                    ranks: a.ranks,
+                    arrival: a.time,
+                    client: a.client,
+                    restarts: 0,
+                    resume: 0.0,
+                    eligible: a.time,
+                    lost_work: 0.0,
+                    ckpt_overhead: 0.0,
+                    first_start: None,
+                    config: None,
+                },
+            );
         }
 
         for &ni in &changed {
@@ -503,10 +839,12 @@ pub fn run_campaign_with_oracle(
 
         // Policy rounds: consult, apply what fits, re-price, repeat until
         // the policy places nothing more (each round shrinks the queue, so
-        // this terminates).
+        // this terminates). Policies only see jobs past their backoff and
+        // the up/down state of every node.
         loop {
             let queue_view: Vec<QueuedJob> = queue
                 .iter()
+                .filter(|q| q.eligible <= now + 1e-9)
                 .map(|q| QueuedJob {
                     id: q.id,
                     workflow: q.workflow.clone(),
@@ -514,12 +852,16 @@ pub fn run_campaign_with_oracle(
                     arrival: q.arrival,
                 })
                 .collect();
+            if queue_view.is_empty() {
+                break;
+            }
             let node_views: Vec<NodeView> = nodes
                 .iter()
                 .enumerate()
                 .map(|(id, n)| NodeView {
                     id,
                     cores_per_socket,
+                    up: n.up,
                     residents: n
                         .running
                         .iter()
@@ -528,7 +870,7 @@ pub fn run_campaign_with_oracle(
                             workflow: r.workflow.clone(),
                             ranks: r.ranks,
                             config: r.config,
-                            projected_finish: r.projected_finish(now),
+                            projected_finish: r.projected_event(now, n.degrade, ckpt_mult),
                         })
                         .collect(),
                 })
@@ -548,23 +890,34 @@ pub fn run_campaign_with_oracle(
                     )));
                 };
                 let used: usize = nodes[p.node].running.iter().map(|r| r.ranks).sum();
-                if used + queue[qi].ranks > cores_per_socket {
+                if !nodes[p.node].up || used + queue[qi].ranks > cores_per_socket {
                     // Batch raced its own earlier placements; re-consult.
                     continue;
                 }
                 let q = queue.remove(qi);
-                let solo = oracle.solo_runtime(&q.workflow, q.ranks, p.config);
+                // A restarted job keeps the configuration its checkpoint
+                // was written under, whatever the policy prefers now.
+                let cfg = q.config.unwrap_or(p.config);
+                let solo = oracle.solo_runtime(&q.workflow, q.ranks, cfg);
+                let fail_at = plan
+                    .job_failure(q.id, q.restarts as u64)
+                    .map(|frac| q.resume + frac * (solo - q.resume))
+                    .filter(|&fa| fa > q.resume && fa < solo - 1e-9);
                 nodes[p.node].running.push(Running {
                     id: q.id,
                     workflow: q.workflow,
                     ranks: q.ranks,
-                    config: p.config,
+                    config: cfg,
                     arrival: q.arrival,
-                    start: now,
+                    first_start: q.first_start.unwrap_or(now),
                     client: q.client,
-                    remaining: solo,
                     solo,
+                    progress: q.resume,
+                    restarts: q.restarts,
+                    lost_work: q.lost_work,
+                    ckpt_overhead: q.ckpt_overhead,
                     slowdown: 1.0,
+                    fail_at,
                 });
                 if !touched.contains(&p.node) {
                     touched.push(p.node);
@@ -613,7 +966,7 @@ mod tests {
             ))
             .unwrap(),
             seed: 42,
-            exec: ExecutionParams::default(),
+            ..CampaignConfig::default()
         }
     }
 
@@ -622,12 +975,17 @@ mod tests {
         let cfg = micro_config(6, 2);
         let out = run_campaign(&cfg, &Fcfs, 2).unwrap();
         assert_eq!(out.jobs.len(), 6);
+        assert_eq!(out.completed(), 6);
+        assert_eq!(out.failed(), 0);
         for (i, j) in out.jobs.iter().enumerate() {
             assert_eq!(j.id, i as u64);
             assert!(j.start >= j.arrival - 1e-9, "job {i} started early");
             assert!(j.finish > j.start, "job {i} has no service time");
             assert!(j.node < 2);
             assert!(j.stretch() >= 0.999, "job {i} ran faster than solo");
+            assert_eq!(j.restarts, 0);
+            assert_eq!(j.lost_work, 0.0);
+            assert_eq!(j.ckpt_overhead, 0.0, "no checkpointing configured");
         }
         assert!(out.makespan >= out.jobs.iter().map(|j| j.finish).fold(0.0, f64::max) - 1e-9);
         let util = out.utilization();
@@ -655,12 +1013,28 @@ mod tests {
     }
 
     #[test]
+    fn bad_fault_spec_is_a_config_error() {
+        let mut cfg = micro_config(3, 2);
+        cfg.faults.job_fail_prob = 2.0;
+        assert!(matches!(
+            run_campaign(&cfg, &Fcfs, 1),
+            Err(ClusterError::Config(_))
+        ));
+        let mut cfg = micro_config(3, 2);
+        cfg.checkpoint.interval = -5.0;
+        assert!(matches!(
+            run_campaign(&cfg, &Fcfs, 1),
+            Err(ClusterError::Config(_))
+        ));
+    }
+
+    #[test]
     fn closed_loop_respects_population_and_budget() {
         let cfg = CampaignConfig {
             nodes: 2,
             arrivals: ArrivalSpec::parse("closed:clients=2,think=5,n=8,mix=micro-64mb").unwrap(),
             seed: 1,
-            exec: ExecutionParams::default(),
+            ..CampaignConfig::default()
         };
         let out = run_campaign(&cfg, &Fcfs, 2).unwrap();
         assert_eq!(out.jobs.len(), 8);
@@ -692,8 +1066,12 @@ mod tests {
             assert_eq!(l.matches('{').count(), l.matches('}').count());
         }
         assert!(lines[..4].iter().all(|l| l.contains("\"kind\":\"job\"")));
+        assert!(lines[..4]
+            .iter()
+            .all(|l| l.contains("\"outcome\":\"completed\"")));
         assert!(lines[4].contains("\"kind\":\"campaign\""));
         assert!(lines[4].contains("\"mean_bounded_slowdown\":"));
+        assert!(lines[4].contains("\"total_lost_work_s\":"));
     }
 
     #[test]
@@ -705,5 +1083,131 @@ mod tests {
             assert_eq!(out.jobs.len(), 5, "{}", policy.name());
             assert_eq!(out.policy, policy.name());
         }
+    }
+
+    /// A fault campaign sized against the workload's own solo runtime so
+    /// crashes reliably hit running jobs.
+    fn faulty_config(solo: f64, nodes: usize) -> CampaignConfig {
+        let mut cfg = micro_config(6, nodes);
+        cfg.faults = FaultSpec {
+            seed: 11,
+            mtbf: solo,
+            repair: solo / 10.0,
+            ..FaultSpec::default()
+        };
+        cfg.checkpoint = CheckpointSpec {
+            interval: solo / 5.0,
+            retry_budget: 8,
+            backoff_base: 1.0,
+            ..CheckpointSpec::default()
+        };
+        cfg
+    }
+
+    /// Solo runtime of the test workload, from a fault-free run.
+    fn micro_solo() -> f64 {
+        let out = run_campaign(&micro_config(1, 1), &Fcfs, 1).unwrap();
+        out.jobs[0].solo
+    }
+
+    #[test]
+    fn crashes_requeue_and_resume_from_checkpoints() {
+        let solo = micro_solo();
+        let cfg = faulty_config(solo, 2);
+        let out = run_campaign(&cfg, &Fcfs, 2).unwrap();
+        // Conservation: every submission ends in exactly one record.
+        assert_eq!(out.jobs.len(), 6, "lost or duplicated jobs");
+        assert_eq!(out.completed() + out.failed(), 6);
+        assert!(
+            out.total_restarts() > 0,
+            "an MTBF equal to the solo runtime must interrupt someone"
+        );
+        for j in &out.jobs {
+            assert!(j.lost_work >= -1e-9);
+            assert!(
+                j.lost_work <= cfg.checkpoint.interval * (j.restarts as f64 + 1.0) + 1e-6,
+                "job {} lost {} solo-seconds with {} restarts — checkpoints not honored",
+                j.id,
+                j.lost_work,
+                j.restarts
+            );
+            if j.completed {
+                assert!(j.finish > j.start - 1e-9);
+            } else {
+                assert!(j.restarts > cfg.checkpoint.retry_budget);
+            }
+        }
+        // Checkpoint writes cost wall time for everyone who ran.
+        assert!(out.total_ckpt_overhead() > 0.0);
+    }
+
+    #[test]
+    fn fault_campaigns_are_deterministic_and_seed_sensitive() {
+        let solo = micro_solo();
+        let cfg = faulty_config(solo, 2);
+        let a = run_campaign(&cfg, &Fcfs, 1).unwrap().to_jsonl();
+        let b = run_campaign(&cfg, &Fcfs, 2).unwrap().to_jsonl();
+        assert_eq!(a, b, "fault campaign differs across --jobs");
+        let mut other = cfg.clone();
+        other.faults.seed = 12;
+        let c = run_campaign(&other, &Fcfs, 1).unwrap().to_jsonl();
+        assert_ne!(a, c, "fault seed has no effect");
+    }
+
+    #[test]
+    fn checkpoint_tax_slows_completion_down() {
+        let base = micro_config(2, 1);
+        let fast = run_campaign(&base, &Fcfs, 1).unwrap();
+        let mut taxed_cfg = base.clone();
+        taxed_cfg.checkpoint.interval = fast.jobs[0].solo / 10.0;
+        let taxed = run_campaign(&taxed_cfg, &Fcfs, 1).unwrap();
+        assert!(
+            taxed.mean_response() > fast.mean_response(),
+            "checkpoint writes must cost wall time: {} vs {}",
+            taxed.mean_response(),
+            fast.mean_response()
+        );
+        assert!(taxed.jobs.iter().all(|j| j.ckpt_overhead > 0.0));
+        assert!(fast.jobs.iter().all(|j| j.ckpt_overhead == 0.0));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_failed_not_hung() {
+        let solo = micro_solo();
+        let mut cfg = faulty_config(solo, 1);
+        // Crash far faster than any checkpoint accumulates and allow a
+        // single retry: most submissions must die, none may hang.
+        cfg.faults.mtbf = solo / 5.0;
+        cfg.faults.repair = solo / 50.0;
+        cfg.checkpoint.interval = 0.0; // restarts from scratch
+        cfg.checkpoint.retry_budget = 1;
+        let out = run_campaign(&cfg, &Fcfs, 1).unwrap();
+        assert_eq!(out.jobs.len(), 6, "every submission must be accounted");
+        assert!(
+            out.failed() > 0,
+            "mtbf at a fifth of the solo time with one retry must kill someone"
+        );
+        for j in out.jobs.iter().filter(|j| !j.completed) {
+            assert_eq!(j.restarts, 2, "budget 1 means the 2nd interrupt is fatal");
+            assert!(j.lost_work > 0.0, "a scratch restart loses all progress");
+        }
+    }
+
+    #[test]
+    fn job_level_failures_alone_trigger_restarts() {
+        let mut cfg = micro_config(4, 2);
+        cfg.faults = FaultSpec {
+            seed: 3,
+            job_fail_prob: 0.5,
+            ..FaultSpec::default()
+        };
+        cfg.checkpoint.interval = micro_solo() / 4.0;
+        let out = run_campaign(&cfg, &Fcfs, 1).unwrap();
+        assert_eq!(out.jobs.len(), 4);
+        assert!(
+            out.total_restarts() > 0,
+            "a 50% per-attempt failure rate over 4 jobs should restart someone"
+        );
+        assert_eq!(out.completed() + out.failed(), 4);
     }
 }

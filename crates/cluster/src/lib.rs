@@ -19,17 +19,24 @@
 //!   resident-set change and emits per-job queueing metrics as
 //!   deterministic JSONL.
 //!
+//! Campaigns can also run under a seeded fault plan
+//! ([`pmemflow_fault`]): node crashes and transient PMEM degradation
+//! interrupt residents, jobs checkpoint into local PMEM (charged through
+//! the I/O-stack cost model) and restart from their last image with
+//! retry budgets and exponential backoff — all byte-reproducible.
+//!
 //! ```no_run
 //! use pmemflow_cluster::{
-//!     run_campaign, ArrivalSpec, CampaignConfig, Fcfs,
+//!     run_campaign, ArrivalSpec, CampaignConfig, CheckpointSpec, FaultSpec, Fcfs,
 //! };
-//! use pmemflow_core::ExecutionParams;
 //!
 //! let config = CampaignConfig {
 //!     nodes: 4,
 //!     arrivals: ArrivalSpec::parse("poisson:rate=0.01,n=200,mix=gtc+miniamr").unwrap(),
 //!     seed: 42,
-//!     exec: ExecutionParams::default(),
+//!     faults: FaultSpec { seed: 7, mtbf: 5000.0, repair: 120.0, ..FaultSpec::default() },
+//!     checkpoint: CheckpointSpec { interval: 60.0, ..CheckpointSpec::default() },
+//!     ..CampaignConfig::default()
 //! };
 //! let outcome = run_campaign(&config, &Fcfs, 4).unwrap();
 //! println!("{}", outcome.to_jsonl());
@@ -52,3 +59,5 @@ pub use policy::{
     Policy, QueuedJob, ResidentView, Table2Rule, POLICY_CHOICES,
 };
 pub use predict::{Oracle, TenantKey};
+
+pub use pmemflow_fault::{CheckpointSpec, FaultEvent, FaultEventKind, FaultPlan, FaultSpec};

@@ -65,6 +65,9 @@ pub struct NodeView {
     pub id: usize,
     /// Core capacity per socket.
     pub cores_per_socket: usize,
+    /// Whether the node is alive. Crashed nodes appear in the snapshot
+    /// (so node ids stay stable) but hold no jobs and accept none.
+    pub up: bool,
     /// Jobs currently running on the node.
     pub residents: Vec<ResidentView>,
 }
@@ -76,9 +79,9 @@ impl NodeView {
         self.residents.iter().map(|r| r.ranks).sum()
     }
 
-    /// Whether a `ranks`-wide job fits right now.
+    /// Whether a `ranks`-wide job fits right now (never on a down node).
     pub fn fits(&self, ranks: usize) -> bool {
-        self.used_cores() + ranks <= self.cores_per_socket
+        self.up && self.used_cores() + ranks <= self.cores_per_socket
     }
 
     /// The tenant keys of the residents (for co-run pricing).
@@ -146,6 +149,7 @@ pub fn all_policies() -> Vec<Box<dyn Policy>> {
 /// Mutable occupancy scratch the policies plan cumulative batches with.
 struct PlanState {
     used: Vec<usize>,
+    up: Vec<bool>,
     cap: usize,
 }
 
@@ -153,12 +157,13 @@ impl PlanState {
     fn new(nodes: &[NodeView]) -> PlanState {
         PlanState {
             used: nodes.iter().map(NodeView::used_cores).collect(),
+            up: nodes.iter().map(|n| n.up).collect(),
             cap: nodes.first().map_or(0, |n| n.cores_per_socket),
         }
     }
 
     fn fits(&self, node: usize, ranks: usize) -> bool {
-        self.used[node] + ranks <= self.cap
+        self.up[node] && self.used[node] + ranks <= self.cap
     }
 
     fn first_fit(&self, ranks: usize) -> Option<usize> {
@@ -250,7 +255,9 @@ impl Policy for EasyBackfill {
         let mut shadow_node = 0usize;
         let mut shadow_time = f64::INFINITY;
         for node in nodes {
-            if plan.used[node.id] > node.cores_per_socket {
+            // A down node cannot anchor the head's reservation: nothing
+            // frees on it and nothing may start on it.
+            if !node.up || plan.used[node.id] > node.cores_per_socket {
                 continue;
             }
             let mut finishes: Vec<(f64, usize)> = node

@@ -3,9 +3,9 @@
 //! output across worker counts.
 
 use pmemflow_cluster::{
-    all_policies, run_campaign, run_campaign_with_oracle, ArrivalSpec, CampaignConfig, Fcfs, Oracle,
+    all_policies, run_campaign, run_campaign_with_oracle, ArrivalSpec, CampaignConfig,
+    CheckpointSpec, FaultSpec, Fcfs, Oracle,
 };
-use pmemflow_core::ExecutionParams;
 
 /// A bursty stream over one micro family (3 rank levels): high rate so the
 /// queue actually builds and placements contend for capacity.
@@ -14,7 +14,7 @@ fn contended_config(n: u64, nodes: usize, seed: u64) -> CampaignConfig {
         nodes,
         arrivals: ArrivalSpec::parse(&format!("poisson:rate=2,n={n},mix=micro-64mb")).unwrap(),
         seed,
-        exec: ExecutionParams::default(),
+        ..CampaignConfig::default()
     }
 }
 
@@ -84,4 +84,79 @@ fn identical_seed_means_byte_identical_jsonl_across_jobs() {
     let a = run_campaign(&cfg, &Fcfs, 2).unwrap();
     let b = run_campaign(&other, &Fcfs, 2).unwrap();
     assert_ne!(a.to_jsonl(), b.to_jsonl());
+}
+
+/// A dense failure trace over the contended stream: crashes and transient
+/// degradation both well inside the campaign's lifetime, with
+/// checkpointing on so restarts resume mid-flight.
+fn faulty_config(n: u64, nodes: usize, seed: u64) -> CampaignConfig {
+    let mut cfg = contended_config(n, nodes, seed);
+    cfg.faults = FaultSpec {
+        seed: 1234,
+        mtbf: 400.0,
+        repair: 40.0,
+        degrade_mtbf: 300.0,
+        degrade_duration: 60.0,
+        degrade_factor: 2.0,
+        job_fail_prob: 0.1,
+    };
+    cfg.checkpoint = CheckpointSpec {
+        interval: 30.0,
+        retry_budget: 5,
+        backoff_base: 2.0,
+        ..CheckpointSpec::default()
+    };
+    cfg
+}
+
+#[test]
+fn same_fault_seed_is_byte_identical_jsonl_across_jobs_counts() {
+    let cfg = faulty_config(10, 2, 9);
+    for policy in all_policies() {
+        let reference = run_campaign(&cfg, policy.as_ref(), 1).unwrap().to_jsonl();
+        for jobs in [4, 8] {
+            let other = run_campaign(&cfg, policy.as_ref(), jobs)
+                .unwrap()
+                .to_jsonl();
+            assert_eq!(
+                reference,
+                other,
+                "{} fault campaign differs between --jobs 1 and --jobs {jobs}",
+                policy.name()
+            );
+        }
+    }
+    // A different fault seed against the same arrivals is a different
+    // campaign — the trace is live, not ignored.
+    let mut other = faulty_config(10, 2, 9);
+    other.faults.seed = 4321;
+    assert_ne!(
+        run_campaign(&cfg, &Fcfs, 2).unwrap().to_jsonl(),
+        run_campaign(&other, &Fcfs, 2).unwrap().to_jsonl(),
+    );
+}
+
+#[test]
+fn every_submission_is_accounted_under_faults() {
+    let cfg = faulty_config(12, 2, 7);
+    for policy in all_policies() {
+        let out = run_campaign(&cfg, policy.as_ref(), 2).unwrap();
+        assert_eq!(
+            out.jobs.len(),
+            12,
+            "{}: submissions lost or duplicated under faults",
+            policy.name()
+        );
+        assert_eq!(out.completed() + out.failed(), 12, "{}", policy.name());
+        for j in &out.jobs {
+            if !j.completed {
+                assert!(
+                    j.restarts > cfg.checkpoint.retry_budget,
+                    "{}: job {} reported failed inside its retry budget",
+                    policy.name(),
+                    j.id
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,518 @@
+//! # pmemflow-fault — deterministic fault injection
+//!
+//! The paper's premise is that PMEM is *persistent*, yet a best-case
+//! model never exercises that persistence. This crate provides the
+//! failure side of the story as pure, seeded data: a [`FaultPlan`]
+//! expands a [`FaultSpec`] into a reproducible schedule of node crashes,
+//! repairs, and transient device-slowdown windows, plus a stateless
+//! per-attempt job-failure draw. Everything is driven by the workspace's
+//! SplitMix64 discipline ([`pmemflow_des::rng`]) so a plan replays
+//! byte-identically for any worker count and across runs.
+//!
+//! Design rules that make the campaign loop's determinism easy:
+//!
+//! * **Per-node streams.** Every node owns two independent RNG streams
+//!   (crash/repair and degrade windows) derived from `(seed, node)`, so
+//!   node 3's schedule is identical whether the cluster has 4 nodes or
+//!   40, and consuming one node's events never perturbs another's.
+//! * **Stateless job draws.** Whether attempt `k` of job `j` dies — and
+//!   how far in — is a pure hash of `(seed, j, k)`, independent of the
+//!   order the scheduler happens to place jobs in.
+//! * **Lazy, ordered expansion.** Streams are infinite; events are pulled
+//!   one at a time in `(time, node, kind)` order, so a campaign only ever
+//!   materializes the prefix it lives through.
+
+#![warn(missing_docs)]
+
+use pmemflow_des::rng::SplitMix64;
+
+/// Parameters of a fault campaign. All times are seconds of simulated
+/// campaign time; a zero `mtbf`/`degrade_mtbf`/`job_fail_prob` disables
+/// that fault class, and [`FaultSpec::default`] disables everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault schedule (independent of the arrival seed so a
+    /// failure trace can be replayed against different workloads).
+    pub seed: u64,
+    /// Mean time between crashes *per node* (exponential inter-arrival).
+    /// `0.0` disables crashes.
+    pub mtbf: f64,
+    /// Mean node repair time (exponential); the node rejoins afterwards.
+    pub repair: f64,
+    /// Mean time between transient-degradation windows per node.
+    /// `0.0` disables degradation.
+    pub degrade_mtbf: f64,
+    /// Mean duration of one degradation window (exponential).
+    pub degrade_duration: f64,
+    /// Progress-rate multiplier while a node is degraded (≥ 1.0): models
+    /// the PMEM device dropping into a slower bandwidth class, so every
+    /// resident's I/O stretches by this factor.
+    pub degrade_factor: f64,
+    /// Per-attempt probability (0..1) that a job dies mid-run from a
+    /// cause of its own (application crash, rank failure).
+    pub job_fail_prob: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec {
+            seed: 0,
+            mtbf: 0.0,
+            repair: 30.0,
+            degrade_mtbf: 0.0,
+            degrade_duration: 60.0,
+            degrade_factor: 2.0,
+            job_fail_prob: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Whether any fault class is active.
+    pub fn enabled(&self) -> bool {
+        self.mtbf > 0.0 || self.degrade_mtbf > 0.0 || self.job_fail_prob > 0.0
+    }
+
+    /// Validate ranges, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("mtbf", self.mtbf),
+            ("repair", self.repair),
+            ("degrade_mtbf", self.degrade_mtbf),
+            ("degrade_duration", self.degrade_duration),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "{name} must be a finite non-negative time, got {v}"
+                ));
+            }
+        }
+        if self.mtbf > 0.0 && self.repair <= 0.0 {
+            return Err("repair must be positive when crashes are enabled".into());
+        }
+        if self.degrade_factor < 1.0 || !self.degrade_factor.is_finite() {
+            return Err(format!(
+                "degrade_factor must be ≥ 1.0, got {}",
+                self.degrade_factor
+            ));
+        }
+        if !(0.0..1.0).contains(&self.job_fail_prob) {
+            return Err(format!(
+                "job_fail_prob must be in [0, 1), got {}",
+                self.job_fail_prob
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Checkpoint/restart parameters for jobs under a fault plan. Checkpoints
+/// are written into node-local PMEM and charged through the I/O-stack
+/// cost model by the campaign loop; this struct only carries the knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// Solo-seconds of useful progress between checkpoints. `0.0`
+    /// disables checkpointing: an interrupted job restarts from scratch.
+    pub interval: f64,
+    /// How many restarts a job is granted before it is reported failed.
+    pub retry_budget: u32,
+    /// Base of the exponential requeue backoff: after restart `k` the job
+    /// becomes eligible again `backoff_base * 2^k` seconds later.
+    pub backoff_base: f64,
+    /// Checkpoint image size in bytes (application state per job).
+    pub state_bytes: u64,
+    /// Object granularity the image is written in — small objects pay the
+    /// stack's per-operation software cost, exactly the paper's coupling.
+    pub object_bytes: u64,
+}
+
+impl Default for CheckpointSpec {
+    fn default() -> CheckpointSpec {
+        CheckpointSpec {
+            interval: 0.0,
+            retry_budget: 3,
+            backoff_base: 5.0,
+            state_bytes: 1 << 30,
+            object_bytes: 64 << 20,
+        }
+    }
+}
+
+impl CheckpointSpec {
+    /// Validate ranges, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.interval.is_finite() || self.interval < 0.0 {
+            return Err(format!(
+                "checkpoint interval must be finite and non-negative, got {}",
+                self.interval
+            ));
+        }
+        if !self.backoff_base.is_finite() || self.backoff_base < 0.0 {
+            return Err(format!(
+                "backoff base must be finite and non-negative, got {}",
+                self.backoff_base
+            ));
+        }
+        if self.interval > 0.0 && (self.state_bytes == 0 || self.object_bytes == 0) {
+            return Err("checkpoint state and object sizes must be positive".into());
+        }
+        if self.interval > 0.0 && self.object_bytes > self.state_bytes {
+            return Err("checkpoint objects cannot be larger than the image".into());
+        }
+        Ok(())
+    }
+}
+
+/// What happened to a node at a [`FaultEvent`]'s instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The node dies; every resident job is interrupted.
+    Crash,
+    /// The node rejoins the cluster, empty.
+    Repair,
+    /// The node's PMEM drops into a degraded bandwidth class.
+    DegradeStart,
+    /// The degradation window ends.
+    DegradeEnd,
+}
+
+impl FaultEventKind {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEventKind::Crash => "crash",
+            FaultEventKind::Repair => "repair",
+            FaultEventKind::DegradeStart => "degrade-start",
+            FaultEventKind::DegradeEnd => "degrade-end",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When it happens (campaign seconds).
+    pub time: f64,
+    /// Which node it happens to.
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultEventKind,
+}
+
+/// An alternating on/off renewal process: `Exp(mean_up)` until the next
+/// "on" event, then `Exp(mean_down)` until the matching "off" event.
+struct Alternator {
+    rng: SplitMix64,
+    node: usize,
+    mean_up: f64,
+    mean_down: f64,
+    on_kind: FaultEventKind,
+    off_kind: FaultEventKind,
+    /// The next event, pre-drawn so peeking is cheap; `None` = disabled.
+    next: Option<FaultEvent>,
+}
+
+/// Exponential draw with the workspace RNG: inverse CDF of `Exp(1/mean)`.
+fn exp_draw(rng: &mut SplitMix64, mean: f64) -> f64 {
+    // next_f64 ∈ [0, 1); 1-u ∈ (0, 1] keeps ln() finite.
+    -mean * (1.0 - rng.next_f64()).ln()
+}
+
+/// Derive an independent per-(seed, node, class) stream seed.
+fn stream_seed(seed: u64, node: usize, class: u64) -> u64 {
+    // One SplitMix64 step over a mixed key: cheap, stable, and distinct
+    // streams never share state whatever the node count is.
+    SplitMix64::new(
+        seed ^ (node as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ (class + 1).wrapping_mul(0xd1b54a32d192ed03),
+    )
+    .next_u64()
+}
+
+impl Alternator {
+    fn new(
+        seed: u64,
+        node: usize,
+        class: u64,
+        mean_up: f64,
+        mean_down: f64,
+        on_kind: FaultEventKind,
+        off_kind: FaultEventKind,
+    ) -> Alternator {
+        let mut a = Alternator {
+            rng: SplitMix64::new(stream_seed(seed, node, class)),
+            node,
+            mean_up,
+            mean_down,
+            on_kind,
+            off_kind,
+            next: None,
+        };
+        if mean_up > 0.0 && mean_down > 0.0 {
+            let t = exp_draw(&mut a.rng, mean_up);
+            a.next = Some(FaultEvent {
+                time: t,
+                node,
+                kind: on_kind,
+            });
+        }
+        a
+    }
+
+    fn peek(&self) -> Option<&FaultEvent> {
+        self.next.as_ref()
+    }
+
+    fn pop(&mut self) -> Option<FaultEvent> {
+        let event = self.next?;
+        let (mean, kind) = if event.kind == self.on_kind {
+            (self.mean_down, self.off_kind)
+        } else {
+            (self.mean_up, self.on_kind)
+        };
+        let dt = exp_draw(&mut self.rng, mean);
+        self.next = Some(FaultEvent {
+            time: event.time + dt,
+            node: self.node,
+            kind,
+        });
+        Some(event)
+    }
+}
+
+/// A fully deterministic, lazily expanded fault schedule over `nodes`
+/// nodes, plus the stateless job-failure oracle.
+///
+/// Events are consumed in global `(time, node, kind-priority)` order via
+/// [`FaultPlan::peek_time`] / [`FaultPlan::pop`]; the streams are
+/// infinite, so the consumer decides when to stop pulling (a campaign
+/// stops once no work remains).
+pub struct FaultPlan {
+    spec: FaultSpec,
+    streams: Vec<Alternator>,
+}
+
+impl FaultPlan {
+    /// Expand `spec` over `nodes` nodes.
+    pub fn new(spec: &FaultSpec, nodes: usize) -> FaultPlan {
+        let mut streams = Vec::with_capacity(nodes * 2);
+        for node in 0..nodes {
+            streams.push(Alternator::new(
+                spec.seed,
+                node,
+                0,
+                spec.mtbf,
+                spec.repair,
+                FaultEventKind::Crash,
+                FaultEventKind::Repair,
+            ));
+            streams.push(Alternator::new(
+                spec.seed,
+                node,
+                1,
+                spec.degrade_mtbf,
+                spec.degrade_duration,
+                FaultEventKind::DegradeStart,
+                FaultEventKind::DegradeEnd,
+            ));
+        }
+        FaultPlan {
+            spec: spec.clone(),
+            streams,
+        }
+    }
+
+    /// The spec this plan was expanded from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Index of the stream holding the globally next event, by total
+    /// `(time, node, stream)` order.
+    fn next_stream(&self) -> Option<usize> {
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.peek().map(|e| (e.time, e.node, i)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)))
+            .map(|(_, _, i)| i)
+    }
+
+    /// Time of the next scheduled event, if any fault class is active.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.next_stream()
+            .and_then(|i| self.streams[i].peek().map(|e| e.time))
+    }
+
+    /// Consume and return the next scheduled event.
+    pub fn pop(&mut self) -> Option<FaultEvent> {
+        let i = self.next_stream()?;
+        self.streams[i].pop()
+    }
+
+    /// Stateless per-attempt job failure draw: does attempt `attempt`
+    /// (0-based) of job `job` die of its own cause, and if so at which
+    /// fraction of the attempt's remaining work? Pure in
+    /// `(seed, job, attempt)` — scheduling order cannot perturb it.
+    pub fn job_failure(&self, job: u64, attempt: u64) -> Option<f64> {
+        if self.spec.job_fail_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(
+            self.spec.seed
+                ^ (job + 1).wrapping_mul(0x8cb92ba72f3d8dd7)
+                ^ (attempt + 1).wrapping_mul(0xaef17502108ef2d9),
+        );
+        if rng.next_f64() < self.spec.job_fail_prob {
+            // Die somewhere in the middle 90% of the attempt — never at
+            // 0 (a no-op) or 1 (indistinguishable from completion).
+            Some(0.05 + 0.9 * rng.next_f64())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_spec() -> FaultSpec {
+        FaultSpec {
+            seed: 7,
+            mtbf: 50.0,
+            repair: 10.0,
+            degrade_mtbf: 80.0,
+            degrade_duration: 20.0,
+            degrade_factor: 2.0,
+            job_fail_prob: 0.2,
+        }
+    }
+
+    fn first_events(plan: &mut FaultPlan, n: usize) -> Vec<FaultEvent> {
+        (0..n).filter_map(|_| plan.pop()).collect()
+    }
+
+    #[test]
+    fn default_spec_is_silent() {
+        let spec = FaultSpec::default();
+        assert!(!spec.enabled());
+        spec.validate().unwrap();
+        let mut plan = FaultPlan::new(&spec, 8);
+        assert_eq!(plan.peek_time(), None);
+        assert_eq!(plan.pop(), None);
+        assert_eq!(plan.job_failure(3, 0), None);
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let spec = dense_spec();
+        let a = first_events(&mut FaultPlan::new(&spec, 4), 64);
+        let b = first_events(&mut FaultPlan::new(&spec, 4), 64);
+        assert_eq!(a, b);
+        let mut other = spec.clone();
+        other.seed = 8;
+        let c = first_events(&mut FaultPlan::new(&other, 4), 64);
+        assert_ne!(a, c, "a different seed must be a different schedule");
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_alternate_per_node() {
+        let mut plan = FaultPlan::new(&dense_spec(), 3);
+        let events = first_events(&mut plan, 200);
+        let mut last = 0.0f64;
+        let mut down = [false; 3];
+        let mut degraded = [false; 3];
+        for e in &events {
+            assert!(e.time >= last, "events out of order: {e:?}");
+            last = e.time;
+            assert!(e.time.is_finite() && e.time > 0.0);
+            match e.kind {
+                FaultEventKind::Crash => {
+                    assert!(!down[e.node], "node {} crashed while down", e.node);
+                    down[e.node] = true;
+                }
+                FaultEventKind::Repair => {
+                    assert!(down[e.node], "node {} repaired while up", e.node);
+                    down[e.node] = false;
+                }
+                FaultEventKind::DegradeStart => {
+                    assert!(!degraded[e.node]);
+                    degraded[e.node] = true;
+                }
+                FaultEventKind::DegradeEnd => {
+                    assert!(degraded[e.node]);
+                    degraded[e.node] = false;
+                }
+            }
+        }
+        assert!(
+            events.iter().any(|e| e.kind == FaultEventKind::Crash),
+            "a 50s-MTBF stream must crash within 200 events"
+        );
+    }
+
+    #[test]
+    fn node_streams_are_independent_of_cluster_size() {
+        // Node 0's schedule must not change when more nodes exist.
+        let spec = dense_spec();
+        let solo: Vec<FaultEvent> = first_events(&mut FaultPlan::new(&spec, 1), 40);
+        let wide: Vec<FaultEvent> = first_events(&mut FaultPlan::new(&spec, 4), 400)
+            .into_iter()
+            .filter(|e| e.node == 0)
+            .take(40)
+            .collect();
+        assert_eq!(solo, wide);
+    }
+
+    #[test]
+    fn job_failure_is_stateless_and_roughly_calibrated() {
+        let plan = FaultPlan::new(&dense_spec(), 2);
+        // Pure in (job, attempt): repeated queries agree.
+        for job in 0..50 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.job_failure(job, attempt),
+                    plan.job_failure(job, attempt)
+                );
+                if let Some(frac) = plan.job_failure(job, attempt) {
+                    assert!((0.05..=0.95).contains(&frac), "{frac}");
+                }
+            }
+        }
+        // Empirical rate within a loose band of the configured 20%.
+        let hits = (0..2000)
+            .filter(|&j| plan.job_failure(j, 0).is_some())
+            .count();
+        assert!((250..=550).contains(&hits), "rate off: {hits}/2000");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut s = dense_spec();
+        s.degrade_factor = 0.5;
+        assert!(s.validate().is_err());
+        let mut s = dense_spec();
+        s.job_fail_prob = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = dense_spec();
+        s.mtbf = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = dense_spec();
+        s.repair = 0.0;
+        assert!(s.validate().is_err(), "crashes without repair never heal");
+
+        let c = CheckpointSpec {
+            interval: -1.0,
+            ..CheckpointSpec::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = CheckpointSpec {
+            interval: 10.0,
+            ..CheckpointSpec::default()
+        };
+        c.object_bytes = 0;
+        assert!(c.validate().is_err());
+        CheckpointSpec::default().validate().unwrap();
+    }
+}

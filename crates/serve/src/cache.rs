@@ -11,6 +11,7 @@
 //! The LRU itself is an intrusive doubly-linked list threaded through a
 //! slab, so hit, insert and evict are all O(1) plus the `HashMap` lookup.
 
+use crate::sync::lock_recover;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -162,23 +163,17 @@ impl<V: Clone> ShardedLru<V> {
 
     /// Look `key` up, refreshing its recency on hit.
     pub fn get(&self, key: &str) -> Option<V> {
-        self.shard(key).lock().unwrap().get(key)
+        lock_recover(self.shard(key)).get(key)
     }
 
     /// Insert `key`, possibly evicting its shard's LRU entry (returned).
     pub fn insert(&self, key: &str, value: V) -> Option<String> {
-        self.shard(key)
-            .lock()
-            .unwrap()
-            .insert(key, value, self.per_shard_capacity)
+        lock_recover(self.shard(key)).insert(key, value, self.per_shard_capacity)
     }
 
     /// Entries currently cached, across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
     }
 
     /// Whether the cache is empty.

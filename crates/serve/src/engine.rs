@@ -14,9 +14,20 @@
 //! by ordering: the leader inserts into the **cache before** removing the
 //! in-flight entry, so a follower that misses the in-flight map re-checks
 //! the cache and is guaranteed to find the value there.
+//!
+//! ## Panic isolation
+//!
+//! A panicking computation must not take the daemon down with it, and —
+//! just as important — must not leave coalesced followers parked forever
+//! on a flight that will never land. `execute` runs `compute` under
+//! [`std::panic::catch_unwind`]; on panic it removes the in-flight entry,
+//! delivers [`ComputeFailed`] to the leader's waiter *and every parked
+//! follower*, caches nothing, and then resumes the unwind so the caller
+//! (the worker supervisor) can count the panic and respawn.
 
 use crate::cache::ShardedLru;
 use crate::metrics::Metrics;
+use crate::sync::lock_recover;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::Sender;
@@ -45,10 +56,16 @@ impl Source {
     }
 }
 
-/// A parked reply channel: the value and its source are delivered when
-/// the leader finishes. Sends to abandoned receivers (deadline expired,
+/// The in-flight leader for this key panicked instead of producing a
+/// value. Nothing was cached; retrying the request elects a new leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeFailed;
+
+/// A parked reply channel: the outcome and its source are delivered when
+/// the leader finishes — `Ok(value)` on success, `Err(ComputeFailed)` if
+/// the leader panicked. Sends to abandoned receivers (deadline expired,
 /// client gone) are silently dropped.
-pub type Waiter<V> = Sender<(V, Source)>;
+pub type Waiter<V> = Sender<(Result<V, ComputeFailed>, Source)>;
 
 /// Cache + single-flight front over an arbitrary computation.
 pub struct Engine<V> {
@@ -70,19 +87,23 @@ impl<V: Clone> Engine<V> {
 
     /// Resolve `key`, replying through `waiter` exactly once — either
     /// inline (cache hit, or this call computed as leader) or later, when
-    /// the in-flight leader this call coalesced onto completes. The
-    /// caller's receive side decides how long it is willing to wait.
+    /// the in-flight leader this call coalesced onto completes or
+    /// panics. The caller's receive side decides how long it is willing
+    /// to wait.
     ///
     /// `compute` runs at most once per key across all concurrent callers;
-    /// it must be deterministic in `key` for the cache to be sound.
+    /// it must be deterministic in `key` for the cache to be sound. If it
+    /// panics, every waiter (leader and followers) receives
+    /// [`ComputeFailed`] and the panic is propagated to this call's
+    /// caller via [`std::panic::resume_unwind`].
     pub fn execute<F: FnOnce() -> V>(&self, key: &str, waiter: Waiter<V>, compute: F) {
         if let Some(v) = self.cache.get(key) {
             self.metrics.cache_hits.fetch_add(1, Relaxed);
-            let _ = waiter.send((v, Source::CacheHit));
+            let _ = waiter.send((Ok(v), Source::CacheHit));
             return;
         }
         {
-            let mut inflight = self.inflight.lock().unwrap();
+            let mut inflight = lock_recover(&self.inflight);
             if let Some(waiters) = inflight.get_mut(key) {
                 self.metrics.coalesced.fetch_add(1, Relaxed);
                 waiters.push(waiter);
@@ -93,26 +114,38 @@ impl<V: Clone> Engine<V> {
             // second probe is conclusive.
             if let Some(v) = self.cache.get(key) {
                 self.metrics.cache_hits.fetch_add(1, Relaxed);
-                let _ = waiter.send((v, Source::CacheHit));
+                let _ = waiter.send((Ok(v), Source::CacheHit));
                 return;
             }
             inflight.insert(key.to_string(), Vec::new());
         }
         // This call is the leader. Compute without holding any lock.
+        // AssertUnwindSafe: on panic the result is discarded, nothing is
+        // cached, and the engine's own mutexes are not held across
+        // `compute` — no engine state can be observed torn.
         self.metrics.cache_misses.fetch_add(1, Relaxed);
-        let value = compute();
-        if self.cache.insert(key, value.clone()).is_some() {
-            self.metrics.evictions.fetch_add(1, Relaxed);
-        }
-        let waiters = self
-            .inflight
-            .lock()
-            .unwrap()
-            .remove(key)
-            .expect("leader's in-flight entry vanished");
-        let _ = waiter.send((value.clone(), Source::Computed));
-        for w in waiters {
-            let _ = w.send((value.clone(), Source::Coalesced));
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute)) {
+            Ok(value) => {
+                if self.cache.insert(key, value.clone()).is_some() {
+                    self.metrics.evictions.fetch_add(1, Relaxed);
+                }
+                let waiters = lock_recover(&self.inflight).remove(key).unwrap_or_default();
+                let _ = waiter.send((Ok(value.clone()), Source::Computed));
+                for w in waiters {
+                    let _ = w.send((Ok(value.clone()), Source::Coalesced));
+                }
+            }
+            Err(payload) => {
+                // Land the flight with an error so no follower hangs,
+                // then let the panic continue into the supervisor.
+                self.metrics.panics.fetch_add(1, Relaxed);
+                let waiters = lock_recover(&self.inflight).remove(key).unwrap_or_default();
+                let _ = waiter.send((Err(ComputeFailed), Source::Computed));
+                for w in waiters {
+                    let _ = w.send((Err(ComputeFailed), Source::Coalesced));
+                }
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 
@@ -183,7 +216,7 @@ mod tests {
             .collect();
         for h in handles {
             let (v, _) = h.join().unwrap();
-            assert_eq!(v, "value");
+            assert_eq!(v.unwrap(), "value");
         }
         assert_eq!(computes.load(Relaxed), 1, "same key simulated twice");
         assert_eq!(m.cache_misses.load(Relaxed), 1);
@@ -200,7 +233,7 @@ mod tests {
         for (i, key) in ["a", "b", "c"].iter().enumerate() {
             let (tx, rx) = channel();
             e.execute(key, tx, || i as u32);
-            assert_eq!(rx.recv().unwrap().0, i as u32);
+            assert_eq!(rx.recv().unwrap().0.unwrap(), i as u32);
         }
         assert_eq!(m.cache_misses.load(Relaxed), 3);
         assert_eq!(m.coalesced.load(Relaxed), 0);
@@ -227,6 +260,47 @@ mod tests {
         e.execute("k", tx, || 7);
         let (tx, rx) = channel();
         e.execute("k", tx, || unreachable!());
-        assert_eq!(rx.recv().unwrap(), (7, Source::CacheHit));
+        assert_eq!(rx.recv().unwrap(), (Ok(7), Source::CacheHit));
+    }
+
+    #[test]
+    fn panicking_leader_fails_all_waiters_and_caches_nothing() {
+        let m = metrics();
+        let e: Arc<Engine<u32>> = Arc::new(Engine::new(8, 1, m.clone()));
+        let entered = Arc::new(AtomicUsize::new(0));
+        // Leader thread: panics mid-compute after the follower coalesced.
+        let (leader_tx, leader_rx) = channel();
+        let leader = {
+            let (e, entered) = (e.clone(), entered.clone());
+            std::thread::spawn(move || {
+                e.execute("doomed", leader_tx, || {
+                    entered.store(1, Relaxed);
+                    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+                    while entered.load(Relaxed) < 2 && std::time::Instant::now() < deadline {
+                        std::thread::yield_now();
+                    }
+                    panic!("injected fault");
+                });
+            })
+        };
+        while entered.load(Relaxed) < 1 {
+            std::thread::yield_now();
+        }
+        let (follower_tx, follower_rx) = channel();
+        e.execute("doomed", follower_tx, || unreachable!("must coalesce"));
+        entered.store(2, Relaxed);
+        // The panic propagates out of execute() into the leader thread...
+        assert!(leader.join().is_err(), "panic must resume past execute()");
+        // ...but both waiters got a definite error instead of hanging.
+        let (lv, lsrc) = leader_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((lv, lsrc), (Err(ComputeFailed), Source::Computed));
+        let (fv, fsrc) = follower_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((fv, fsrc), (Err(ComputeFailed), Source::Coalesced));
+        assert_eq!(m.panics.load(Relaxed), 1);
+        assert_eq!(e.cache_len(), 0, "failed computes must not be cached");
+        // The key is fully released: a retry elects a fresh leader.
+        let (tx, rx) = channel();
+        e.execute("doomed", tx, || 9);
+        assert_eq!(rx.recv().unwrap(), (Ok(9), Source::Computed));
     }
 }

@@ -5,8 +5,17 @@
 //! on every dimension an adversarial client could inflate. No TLS, no
 //! chunked transfer encoding (rejected with `411`/`501`), no pipelining
 //! guarantees beyond strict request/response alternation.
+//!
+//! ## Read deadline
+//!
+//! [`read_request`] enforces an absolute wall-clock budget on each
+//! request, armed at its **first byte** — an idle keep-alive connection
+//! is never charged, but a slowloris client that trickles header bytes
+//! forever is cut off with `408` once the budget elapses, even if the
+//! bytes keep arriving fast enough to dodge the socket's read timeout.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Parsed request.
 #[derive(Debug, Clone)]
@@ -47,7 +56,7 @@ pub enum HttpError {
     /// Malformed or over-limit request — respond with the carried status
     /// and close.
     Bad {
-        /// Status code to answer with (400, 413, 501, ...).
+        /// Status code to answer with (400, 408, 413, 501, ...).
         status: u16,
         /// Human-readable reason for the error body.
         reason: &'static str,
@@ -71,11 +80,56 @@ fn bad(status: u16, reason: &'static str) -> HttpError {
     HttpError::Bad { status, reason }
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The per-request read deadline, armed lazily at the first byte so an
+/// idle keep-alive connection can wait indefinitely between requests.
+struct ReadBudget {
+    budget: Duration,
+    deadline: Option<Instant>,
+}
+
+impl ReadBudget {
+    fn new(budget: Duration) -> ReadBudget {
+        ReadBudget {
+            budget,
+            deadline: None,
+        }
+    }
+
+    fn arm(&mut self) {
+        if self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + self.budget);
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+const DEADLINE_EXCEEDED: &str = "request read deadline exceeded";
+
 /// Read one line terminated by `\r\n` (or bare `\n`), without the
-/// terminator, enforcing [`MAX_LINE`].
-fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+/// terminator, enforcing [`MAX_LINE`] and the request's read budget.
+fn read_line(
+    stream: &mut impl BufRead,
+    clock: &mut ReadBudget,
+) -> Result<Option<String>, HttpError> {
     let mut line = Vec::with_capacity(64);
     loop {
+        if clock.expired() {
+            return Err(bad(408, DEADLINE_EXCEEDED));
+        }
         let mut byte = [0u8; 1];
         match std::io::Read::read(stream, &mut byte) {
             Ok(0) => {
@@ -85,6 +139,7 @@ fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
                 return Err(bad(400, "truncated request line"));
             }
             Ok(_) => {
+                clock.arm();
                 if byte[0] == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
@@ -98,15 +153,31 @@ fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
                     return Err(bad(431, "header line too long"));
                 }
             }
+            Err(e) if is_timeout(&e) => {
+                if !clock.armed() {
+                    // No request byte yet: this is an idle keep-alive
+                    // connection, and the caller decides how long it may
+                    // linger. Mid-request stalls retry until the deadline.
+                    return Err(HttpError::Io(e));
+                }
+            }
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
 }
 
-/// Read one complete request from `stream`. [`HttpError::Eof`] signals a
-/// clean keep-alive hangup before the next request.
-pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
-    let request_line = read_line(stream)?.ok_or(HttpError::Eof)?;
+/// Read one complete request from `stream`, holding the client to
+/// `read_deadline` from its first byte. [`HttpError::Eof`] signals a
+/// clean keep-alive hangup before the next request; a timeout *before*
+/// the first byte surfaces as [`HttpError::Io`] (idle connection), while
+/// a request that starts but does not finish inside the budget is
+/// rejected with `408`.
+pub fn read_request(
+    stream: &mut impl BufRead,
+    read_deadline: Duration,
+) -> Result<Request, HttpError> {
+    let mut clock = ReadBudget::new(read_deadline);
+    let request_line = read_line(stream, &mut clock)?.ok_or(HttpError::Eof)?;
     let mut parts = request_line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
@@ -118,7 +189,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(stream)?.ok_or(bad(400, "truncated headers"))?;
+        let line = read_line(stream, &mut clock)?.ok_or(bad(400, "truncated headers"))?;
         if line.is_empty() {
             break;
         }
@@ -143,17 +214,39 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     if req.header("transfer-encoding").is_some() {
         return Err(bad(501, "chunked transfer encoding is not supported"));
     }
-    let len = match req.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| bad(400, "malformed Content-Length"))?,
+    // Framing is security-sensitive: accept exactly one Content-Length,
+    // and only the strict digits-only grammar of RFC 9110 §8.6 — no
+    // signs, whitespace, or repeats (even agreeing repeats), since any
+    // leniency here is what request-smuggling attacks are built from.
+    let mut lengths = req.headers.iter().filter(|(k, _)| k == "content-length");
+    let len = match (lengths.next(), lengths.next()) {
+        (None, _) => 0,
+        (Some(_), Some(_)) => return Err(bad(400, "repeated Content-Length")),
+        (Some((_, v)), None) => {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad(400, "malformed Content-Length"));
+            }
+            v.parse::<usize>()
+                .map_err(|_| bad(400, "malformed Content-Length"))?
+        }
     };
     if len > MAX_BODY {
         return Err(bad(413, "body too large"));
     }
     let mut body = vec![0u8; len];
-    std::io::Read::read_exact(stream, &mut body).map_err(|_| bad(400, "truncated body"))?;
+    let mut filled = 0;
+    while filled < len {
+        if clock.expired() {
+            return Err(bad(408, DEADLINE_EXCEEDED));
+        }
+        match std::io::Read::read(stream, &mut body[filled..]) {
+            Ok(0) => return Err(bad(400, "truncated body")),
+            Ok(n) => filled += n,
+            // The clock armed on the request line; wait out the deadline.
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
     Ok(Request { body, ..req })
 }
 
@@ -164,6 +257,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -215,8 +309,11 @@ mod tests {
     use super::*;
     use std::io::BufReader;
 
+    /// In-memory parses complete instantly; any generous budget works.
+    const TEST_BUDGET: Duration = Duration::from_secs(5);
+
     fn parse(raw: &[u8]) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(raw))
+        read_request(&mut BufReader::new(raw), TEST_BUDGET)
     }
 
     #[test]
@@ -278,29 +375,104 @@ mod tests {
     }
 
     #[test]
-    fn enforces_limits() {
-        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
-        assert!(matches!(
-            parse(long.as_bytes()),
-            Err(HttpError::Bad { status: 431, .. })
-        ));
-        let huge = format!(
-            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-            MAX_BODY + 1
-        );
-        assert!(matches!(
-            parse(huge.as_bytes()),
-            Err(HttpError::Bad { status: 413, .. })
-        ));
-        let mut many = String::from("GET /x HTTP/1.1\r\n");
-        for i in 0..(MAX_HEADERS + 1) {
-            many.push_str(&format!("h{i}: v\r\n"));
+    fn content_length_grammar_is_digits_only() {
+        // `usize::parse` alone would accept "+4"; the framing layer must
+        // not. Every non-canonical spelling is a hard 400. (Whitespace
+        // around the value is OWS, trimmed by the header parser before
+        // this grammar applies — interior whitespace is not.)
+        for cl in ["+4", "-4", "4 4", "0x4", "4.0", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length:{cl}\r\n\r\nbody");
+            match parse(raw.as_bytes()) {
+                Err(HttpError::Bad { status: 400, .. }) => {}
+                other => panic!("Content-Length {cl:?}: expected 400, got {other:?}"),
+            }
         }
-        many.push_str("\r\n");
+        // Overflowing lengths are malformed, not huge.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n";
         assert!(matches!(
-            parse(many.as_bytes()),
-            Err(HttpError::Bad { status: 431, .. })
+            parse(raw),
+            Err(HttpError::Bad { status: 400, .. })
         ));
+    }
+
+    #[test]
+    fn repeated_content_length_is_rejected() {
+        // Smuggling guard: two frame lengths — even agreeing ones — mean
+        // the client and any intermediary may disagree on the boundary.
+        for (a, b) in [("4", "8"), ("4", "4")] {
+            let raw = format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\nbodybody"
+            );
+            match parse(raw.as_bytes()) {
+                Err(HttpError::Bad { status: 400, .. }) => {}
+                other => panic!("CL {a}/{b}: expected 400, got {other:?}"),
+            }
+        }
+    }
+
+    /// Serves `data` one byte per read with a small delay, then reports
+    /// `WouldBlock` forever — a slowloris client in miniature.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(Duration::from_millis(1));
+            if self.pos < self.data.len() && !buf.is_empty() {
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(std::io::ErrorKind::WouldBlock.into())
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_request_is_cut_off_with_408() {
+        // The header starts arriving, then the client goes silent: the
+        // armed deadline converts the stall into a 408, not a hang.
+        let t = Trickle {
+            data: b"POST /v1/predict HTTP/1.1\r\nHost:".to_vec(),
+            pos: 0,
+        };
+        match read_request(&mut BufReader::new(t), Duration::from_millis(80)) {
+            Err(HttpError::Bad { status: 408, .. }) => {}
+            other => panic!("expected 408, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drip_feeding_cannot_dodge_the_deadline() {
+        // Bytes keep arriving (so no single read ever times out), but the
+        // absolute budget still expires: the check is per byte, not per
+        // stall.
+        let t = Trickle {
+            data:
+                b"GET /healthz HTTP/1.1\r\nx-slow: 0123456789012345678901234567890123456789\r\n\r\n"
+                    .to_vec(),
+            pos: 0,
+        };
+        match read_request(&mut BufReader::new(t), Duration::from_millis(20)) {
+            Err(HttpError::Bad { status: 408, .. }) => {}
+            other => panic!("expected 408, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_timeout_before_first_byte_stays_an_io_error() {
+        // No byte has arrived, so the budget is unarmed: the socket-level
+        // timeout must pass through untouched for keep-alive idling.
+        let t = Trickle {
+            data: Vec::new(),
+            pos: 0,
+        };
+        match read_request(&mut BufReader::new(t), Duration::from_millis(20)) {
+            Err(HttpError::Io(e)) => assert!(is_timeout(&e)),
+            other => panic!("expected Io(WouldBlock), got {other:?}"),
+        }
     }
 
     #[test]

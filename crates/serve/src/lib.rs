@@ -29,6 +29,19 @@
 //! [`pmemflow_cluster::predict::Oracle`] the campaign scheduler uses
 //! ([`model`]), so the daemon and the batch path predict bit-identical
 //! numbers.
+//!
+//! # Fault tolerance
+//!
+//! A panicking computation is isolated, not fatal: the engine delivers
+//! [`engine::ComputeFailed`] to the leader *and* every coalesced
+//! follower (each answers `500`), nothing is cached, and the worker
+//! supervisor respawns the worker — all of it visible as
+//! `panics_total` / `worker_restarts_total` in `/metrics`. Mutexes that
+//! a panic may have poisoned recover through [`sync::lock_recover`]. On
+//! the transport side, a per-request read deadline (armed at the first
+//! byte, so idle keep-alive costs nothing) reaps slowloris clients with
+//! `408`, and [`FaultInjectingBackend`] gives tests and CI a
+//! deterministic panic-injection hook (`--fault-rate`).
 
 pub mod cache;
 pub mod engine;
@@ -38,12 +51,14 @@ pub mod metrics;
 pub mod model;
 pub mod query;
 pub mod server;
+pub mod sync;
 
-pub use engine::{Engine, Source};
+pub use engine::{ComputeFailed, Engine, Source};
 pub use metrics::Metrics;
-pub use model::{Answer, Backend, ModelBackend};
+pub use model::{Answer, Backend, FaultInjectingBackend, ModelBackend};
 /// The shared prediction path (re-exported so serve API users need not
 /// depend on `pmemflow_cluster` directly).
 pub use pmemflow_cluster::predict::{Oracle, TenantKey};
 pub use query::Query;
 pub use server::{Server, ServerConfig};
+pub use sync::lock_recover;

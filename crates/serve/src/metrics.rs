@@ -113,6 +113,10 @@ pub struct Metrics {
     pub shed: AtomicU64,
     /// Requests that missed their deadline (504).
     pub deadline_missed: AtomicU64,
+    /// Worker panics caught while computing (each one answered 500).
+    pub panics: AtomicU64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: AtomicU64,
     /// Current depth of the admission queue.
     pub queue_depth: AtomicU64,
     /// End-to-end request latency (parse to response write).
@@ -120,8 +124,8 @@ pub struct Metrics {
 }
 
 /// The status codes tracked individually.
-pub const STATUS_BUCKETS: [u16; 13] = [
-    200, 400, 404, 405, 413, 422, 429, 431, 500, 501, 503, 504, 505,
+pub const STATUS_BUCKETS: [u16; 14] = [
+    200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 501, 503, 504, 505,
 ];
 
 /// Index into [`Metrics::responses`] for a status code.
@@ -175,6 +179,8 @@ impl Metrics {
             ("cache_evictions_total", &self.evictions),
             ("shed_total", &self.shed),
             ("deadline_missed_total", &self.deadline_missed),
+            ("panics_total", &self.panics),
+            ("worker_restarts_total", &self.worker_restarts),
         ] {
             out.push_str(&format!(
                 "# TYPE pmemflow_serve_{name} counter\npmemflow_serve_{name} {}\n",
@@ -255,6 +261,8 @@ mod tests {
             "pmemflow_serve_cache_hits_total 3",
             "pmemflow_serve_cache_misses_total 0",
             "pmemflow_serve_shed_total 0",
+            "pmemflow_serve_panics_total 0",
+            "pmemflow_serve_worker_restarts_total 0",
             "pmemflow_serve_queue_depth 0",
             "pmemflow_serve_request_latency_seconds{quantile=\"0.5\"}",
             "pmemflow_serve_request_latency_seconds{quantile=\"0.99\"}",
@@ -268,6 +276,7 @@ mod tests {
     fn status_buckets_cover_the_daemons_codes() {
         assert_eq!(status_bucket(200), 0);
         assert_ne!(status_bucket(504), status_bucket(200));
+        assert_ne!(status_bucket(408), STATUS_BUCKETS.len() - 1);
         // Unknown codes fold into the last bucket instead of panicking.
         assert_eq!(status_bucket(418), STATUS_BUCKETS.len() - 1);
     }

@@ -219,6 +219,48 @@ impl ModelBackend {
     }
 }
 
+/// A chaos-testing decorator: panics deterministically on every
+/// `period`-th answered call, where `period = round(1 / rate)`. This is
+/// the daemon's `--fault-rate` test hook — it exercises the whole panic
+/// path (engine failure delivery to leader and coalesced followers,
+/// worker respawn, `panics_total` / `worker_restarts_total` metrics)
+/// without a special build or an unreliable timing-based injection.
+pub struct FaultInjectingBackend {
+    inner: std::sync::Arc<dyn Backend>,
+    period: u64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl FaultInjectingBackend {
+    /// Wrap `inner` so that roughly `rate` of calls panic (rate is
+    /// clamped into `[0, 1]`; 0 disables injection entirely).
+    pub fn new(inner: std::sync::Arc<dyn Backend>, rate: f64) -> FaultInjectingBackend {
+        let period = if rate > 0.0 {
+            (1.0 / rate.min(1.0)).round().max(1.0) as u64
+        } else {
+            u64::MAX
+        };
+        FaultInjectingBackend {
+            inner,
+            period,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl Backend for FaultInjectingBackend {
+    fn answer(&self, query: &Query) -> Answer {
+        let n = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n.is_multiple_of(self.period) {
+            panic!("injected backend fault (call {n})");
+        }
+        self.inner.answer(query)
+    }
+}
+
 impl Backend for ModelBackend {
     fn answer(&self, query: &Query) -> Answer {
         let rendered = match query {
@@ -254,6 +296,33 @@ mod tests {
 
     fn q(endpoint: &str, body: &str) -> Query {
         Query::from_json(endpoint, &Json::parse(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fault_injection_panics_on_a_fixed_cadence() {
+        struct Ok200;
+        impl Backend for Ok200 {
+            fn answer(&self, _q: &Query) -> Answer {
+                Answer {
+                    status: 200,
+                    body: "{}".to_string(),
+                }
+            }
+        }
+        // rate 0.25 → every 4th call panics: calls 4 and 8 out of 8.
+        let b = FaultInjectingBackend::new(std::sync::Arc::new(Ok200), 0.25);
+        let query = q("/v1/predict", r#"{"workload":"micro-64mb","ranks":8}"#);
+        let panics = (1..=8)
+            .filter(|_| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.answer(&query))).is_err()
+            })
+            .count();
+        assert_eq!(panics, 2);
+        // rate 0 never injects.
+        let b = FaultInjectingBackend::new(std::sync::Arc::new(Ok200), 0.0);
+        for _ in 0..64 {
+            assert_eq!(b.answer(&query).status, 200);
+        }
     }
 
     #[test]

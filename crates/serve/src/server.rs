@@ -21,12 +21,13 @@
 //! finish, idle keep-alive connections are released by their read
 //! timeout, and [`Server::join`] returns once the workers have drained.
 
-use crate::engine::{Engine, Source};
+use crate::engine::{ComputeFailed, Engine, Source};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::model::{Answer, Backend, ModelBackend};
+use crate::model::{Answer, Backend, FaultInjectingBackend, ModelBackend};
 use crate::query::Query;
+use crate::sync::lock_recover;
 use pmemflow_des::json::json_escape;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -51,6 +52,14 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-request deadline; exceeding it answers 504.
     pub deadline: Duration,
+    /// Wall-clock budget for *reading* one request, armed at its first
+    /// byte: a client that starts a request but trickles it (slowloris)
+    /// is cut off with 408 once this elapses. Idle keep-alive
+    /// connections are not charged.
+    pub read_deadline: Duration,
+    /// Chaos hook: fraction of backend calls that panic (0 disables).
+    /// See [`FaultInjectingBackend`].
+    pub fault_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +71,8 @@ impl Default for ServerConfig {
             shards: 8,
             queue_capacity: 64,
             deadline: Duration::from_secs(30),
+            read_deadline: Duration::from_secs(5),
+            fault_rate: 0.0,
         }
     }
 }
@@ -71,7 +82,7 @@ impl Default for ServerConfig {
 struct Job {
     key: String,
     query: Query,
-    reply: std::sync::mpsc::Sender<(Arc<Answer>, Source)>,
+    reply: std::sync::mpsc::Sender<(Result<Arc<Answer>, ComputeFailed>, Source)>,
     expires: Instant,
 }
 
@@ -81,6 +92,7 @@ struct Shared {
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     deadline: Duration,
+    read_deadline: Duration,
     active: Arc<AtomicUsize>,
 }
 
@@ -109,6 +121,11 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
+        let backend: Arc<dyn Backend> = if config.fault_rate > 0.0 {
+            Arc::new(FaultInjectingBackend::new(backend, config.fault_rate))
+        } else {
+            backend
+        };
         let metrics = Arc::new(Metrics::default());
         let engine: Arc<Engine<Arc<Answer>>> = Arc::new(Engine::new(
             config.cache_capacity.max(1),
@@ -130,7 +147,21 @@ impl Server {
                 );
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&jobs, &engine, &*backend, &metrics))
+                    // Supervisor: a panicking computation unwinds out of
+                    // worker_loop (the engine has already delivered
+                    // ComputeFailed to every waiter); catch it, count the
+                    // restart, and re-enter the loop so the pool
+                    // self-heals at full strength.
+                    .spawn(move || loop {
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(&jobs, &engine, &*backend, &metrics)
+                        })) {
+                            Ok(()) => return, // queue drained: clean shutdown
+                            Err(_) => {
+                                metrics.worker_restarts.fetch_add(1, Relaxed);
+                            }
+                        }
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -141,6 +172,7 @@ impl Server {
             metrics: metrics.clone(),
             shutdown: shutdown.clone(),
             deadline: config.deadline,
+            read_deadline: config.read_deadline,
             active: active.clone(),
         });
         let acceptor = {
@@ -240,7 +272,9 @@ fn worker_loop(
     loop {
         // Standard Mutex<Receiver> pool: the lock holder blocks in recv,
         // the rest block on the lock; each job wakes exactly one worker.
-        let job = match jobs.lock().unwrap().recv() {
+        // lock_recover: a worker that panicked while holding this lock
+        // must not take the whole pool down with it.
+        let job = match lock_recover(jobs).recv() {
             Ok(job) => job,
             Err(_) => return, // every sender gone: drained, shut down
         };
@@ -264,6 +298,10 @@ fn error_body(msg: &str) -> Vec<u8> {
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    // A client that stops *reading* must not wedge this thread forever
+    // on write either; a stalled write surfaces as an error and the
+    // connection is dropped.
+    let _ = stream.set_write_timeout(Some(shared.read_deadline.max(Duration::from_secs(1))));
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -271,7 +309,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     });
     let mut stream = stream;
     loop {
-        let request = match read_request(&mut reader) {
+        let request = match read_request(&mut reader, shared.read_deadline) {
             Ok(request) => request,
             Err(HttpError::Eof) => return,
             Err(HttpError::Io(e))
@@ -405,11 +443,20 @@ fn respond(stream: &mut TcpStream, request: &Request, shared: &Shared, close: bo
                 }
             }
             match reply_rx.recv_timeout(shared.deadline) {
-                Ok((answer, source)) => send(
+                Ok((Ok(answer), source)) => send(
                     answer.status,
                     "application/json",
                     &[("x-pmemflow-cache", source.label().to_string())],
                     answer.body.as_bytes(),
+                ),
+                // The computation this request was riding on panicked
+                // (as leader or coalesced follower): a definite 500, not
+                // a hang until the 504 deadline.
+                Ok((Err(ComputeFailed), _)) => send(
+                    500,
+                    "application/json",
+                    &[],
+                    &error_body("model computation failed; retry may succeed"),
                 ),
                 Err(_) => {
                     shared.metrics.deadline_missed.fetch_add(1, Relaxed);

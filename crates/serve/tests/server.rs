@@ -298,6 +298,171 @@ fn deadline_miss_answers_504() {
     server.join();
 }
 
+/// Panics exactly once — on the first `/v1/predict` for `ranks == 13` —
+/// after lingering long enough for followers to coalesce onto the doomed
+/// flight. Every other call answers instantly.
+struct PanicOnceBackend {
+    tripped: std::sync::atomic::AtomicBool,
+}
+
+impl Backend for PanicOnceBackend {
+    fn answer(&self, query: &Query) -> Answer {
+        use std::sync::atomic::Ordering::Relaxed;
+        if matches!(query, Query::Predict { ranks: 13, .. }) && !self.tripped.swap(true, Relaxed) {
+            std::thread::sleep(Duration::from_millis(500));
+            panic!("injected worker fault");
+        }
+        Answer {
+            status: 200,
+            body: format!("{{\"key\":\"{}\"}}", query.canonical_key()),
+        }
+    }
+}
+
+#[test]
+fn worker_panic_answers_500_everywhere_and_the_pool_self_heals() {
+    let server = Server::start_with_backend(
+        small_config(),
+        Arc::new(PanicOnceBackend {
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let body = r#"{"workload":"micro-2kb","ranks":13}"#;
+
+    // Leader: its computation will panic ~500ms in.
+    let mut leader = TcpStream::connect(addr).unwrap();
+    leader
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    leader
+        .write_all(raw_request("POST", "/v1/predict", body).as_bytes())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // Follower: same canonical key, coalesces onto the doomed flight.
+    let mut follower = TcpStream::connect(addr).unwrap();
+    follower
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    follower
+        .write_all(raw_request("POST", "/v1/predict", body).as_bytes())
+        .unwrap();
+
+    // Both get a definite 500 — nobody hangs until the 504 deadline.
+    let lr = read_response(&mut BufReader::new(leader));
+    assert_eq!(lr.status, 500, "{}", lr.body);
+    let fr = read_response(&mut BufReader::new(follower));
+    assert_eq!(fr.status, 500, "{}", fr.body);
+
+    // The pool self-healed: the same endpoint answers 200 afterwards,
+    // and nothing poisonous was cached from the failed flight.
+    let ok = call(addr, "POST", "/v1/predict", body);
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert_eq!(ok.header("x-pmemflow-cache"), Some("miss"));
+
+    let metrics = call(addr, "GET", "/metrics", "");
+    assert!(metrics.body.contains("pmemflow_serve_panics_total 1"));
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_worker_restarts_total 1"));
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_responses_total{status=\"500\"} 2"));
+    server.shutdown();
+    assert_eq!(server.join(), 0, "connections leaked after a panic");
+}
+
+#[test]
+fn slowloris_is_reaped_with_408_without_occupying_a_worker() {
+    let server = Server::start_with_backend(
+        ServerConfig {
+            workers: 1,
+            read_deadline: Duration::from_millis(700),
+            ..ServerConfig::default()
+        },
+        Arc::new(SlowBackend {
+            delay: Duration::from_millis(10),
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The slowloris client: opens a request and then trickles header
+    // bytes forever, never finishing.
+    let mut victim = TcpStream::connect(addr).unwrap();
+    victim
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    victim.write_all(b"POST /v1/predict HT").unwrap();
+    let writer = {
+        let mut stream = victim.try_clone().unwrap();
+        std::thread::spawn(move || {
+            // Fast enough to dodge any per-read socket timeout; the
+            // absolute deadline must reap it anyway.
+            for _ in 0..200 {
+                std::thread::sleep(Duration::from_millis(50));
+                if stream.write_all(b"x").is_err() {
+                    return; // server closed the connection: reaped
+                }
+            }
+        })
+    };
+
+    // Meanwhile the single worker is not occupied by the slow client:
+    // a well-behaved request completes normally.
+    std::thread::sleep(Duration::from_millis(100));
+    let ok = call(
+        addr,
+        "POST",
+        "/v1/predict",
+        r#"{"workload":"micro-2kb","ranks":8}"#,
+    );
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    // The slowloris connection itself gets a definite 408 and is closed.
+    let r = read_response(&mut BufReader::new(victim));
+    assert_eq!(r.status, 408, "{}", r.body);
+    assert_eq!(r.header("connection"), Some("close"));
+    writer.join().unwrap();
+
+    let metrics = call(addr, "GET", "/metrics", "");
+    assert!(metrics
+        .body
+        .contains("pmemflow_serve_responses_total{status=\"408\"} 1"));
+    server.shutdown();
+    assert_eq!(server.join(), 0, "slowloris connection leaked");
+}
+
+#[test]
+fn content_length_smuggling_is_rejected_on_the_wire() {
+    let server = Server::start_with_backend(
+        small_config(),
+        Arc::new(SlowBackend {
+            delay: Duration::from_millis(0),
+        }),
+    )
+    .unwrap();
+    let addr = server.addr();
+    for raw in [
+        // Two frame lengths, even agreeing ones.
+        "POST /v1/predict HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+        // Signed length parses as usize but is not the RFC grammar.
+        "POST /v1/predict HTTP/1.1\r\nHost: t\r\nContent-Length: +4\r\n\r\nbody",
+    ] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let r = read_response(&mut BufReader::new(stream));
+        assert_eq!(r.status, 400, "{raw:?}: {}", r.body);
+        assert_eq!(r.header("connection"), Some("close"));
+    }
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn responses_are_byte_identical_across_worker_counts() {
     let queries: [(&str, &str); 4] = [

@@ -13,6 +13,7 @@
 //! | [`workloads`] | the paper's 18-workload suite + real proxy kernels |
 //! | [`core`] | Table I configurations, workflow executor, metrics, native mode |
 //! | [`sched`] | rule-based / model-driven / adaptive PMEM-aware schedulers |
+//! | [`fault`] | deterministic seeded fault plans: crashes, degradation, job failures |
 //! | [`cluster`] | online multi-node campaign scheduling over arrival streams |
 //! | [`serve`] | concurrent model-serving HTTP daemon with result cache + backpressure |
 //!
@@ -40,6 +41,7 @@ pub mod cli;
 pub use pmemflow_cluster as cluster;
 pub use pmemflow_core as core;
 pub use pmemflow_des as des;
+pub use pmemflow_fault as fault;
 pub use pmemflow_iostack as iostack;
 pub use pmemflow_platform as platform;
 pub use pmemflow_pmem as pmem;

@@ -19,8 +19,8 @@ use pmemflow::cli::{
     WORKLOAD_CHOICES,
 };
 use pmemflow::cluster::{
-    all_policies, policy_by_name, run_campaign_with_oracle, ArrivalSpec, CampaignConfig, Oracle,
-    POLICY_CHOICES,
+    all_policies, policy_by_name, run_campaign_with_oracle, ArrivalSpec, CampaignConfig,
+    CheckpointSpec, FaultSpec, Oracle, POLICY_CHOICES,
 };
 use pmemflow::core::report::panel_table;
 use pmemflow::pmem::{bandwidth_table, headline_ratios, DeviceProfile, GB};
@@ -65,12 +65,28 @@ COMMANDS:
                   --seed S          arrival-stream seed (default 42)
                   --jobs N          parallel prediction sims (default: cores)
                   --out FILE        per-job + campaign records (JSON Lines)
+                fault injection + checkpoint/restart (see EXPERIMENTS.md):
+                  --mtbf S            mean time between node crashes (0 = off)
+                  --repair S          mean crash repair time (default 30)
+                  --degrade-mtbf S    mean time between PMEM slowdowns (0 = off)
+                  --degrade-duration S  mean slowdown length (default 60)
+                  --degrade-factor F  bandwidth-degradation slowdown (default 2)
+                  --job-fail-prob P   per-attempt job failure probability
+                  --fault-seed S      fault-plan seed (default: --seed)
+                  --checkpoint-interval S  progress between PMEM checkpoints
+                                           (0 = restart from scratch)
+                  --retry-budget N    restarts before a job is failed (default 3)
+                  --backoff-base S    requeue backoff, doubled per restart
   serve         run the model-serving HTTP daemon (see EXPERIMENTS.md)
                   --port P            TCP port on 127.0.0.1 (default 7777; 0 = ephemeral)
                   --workers N         worker threads (default: cores)
                   --cache-capacity C  result-cache entries (default 256)
                   --queue-capacity Q  admission queue depth (default 64)
                   --deadline-ms MS    per-request deadline (default 30000)
+                  --read-deadline-ms MS  per-request read budget; slow clients
+                                         get 408 (default 5000)
+                  --fault-rate R      chaos hook: fraction of computations
+                                      that panic, in [0,1) (default 0)
                   endpoints: POST /v1/sweep /v1/recommend /v1/predict
                   /v1/coschedule; GET /healthz /metrics; POST /admin/shutdown
   devicebench   print the modeled §II-B device characterization
@@ -336,11 +352,43 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 })?]
             };
 
+            let fault_seed: u64 = args.get_parse("fault-seed", seed, "an unsigned seed")?;
             let config = CampaignConfig {
                 nodes,
                 arrivals,
                 seed,
                 exec: params.clone(),
+                faults: FaultSpec {
+                    seed: fault_seed,
+                    mtbf: args.get_parse("mtbf", 0.0, "seconds (0 disables crashes)")?,
+                    repair: args.get_parse("repair", 30.0, "seconds")?,
+                    degrade_mtbf: args.get_parse(
+                        "degrade-mtbf",
+                        0.0,
+                        "seconds (0 disables degradation)",
+                    )?,
+                    degrade_duration: args.get_parse("degrade-duration", 60.0, "seconds")?,
+                    degrade_factor: args.get_parse(
+                        "degrade-factor",
+                        2.0,
+                        "a slowdown factor >= 1",
+                    )?,
+                    job_fail_prob: args.get_parse(
+                        "job-fail-prob",
+                        0.0,
+                        "a probability in [0,1)",
+                    )?,
+                },
+                checkpoint: CheckpointSpec {
+                    interval: args.get_parse(
+                        "checkpoint-interval",
+                        0.0,
+                        "seconds of progress (0 disables checkpoints)",
+                    )?,
+                    retry_budget: args.get_parse("retry-budget", 3, "a restart count")?,
+                    backoff_base: args.get_parse("backoff-base", 5.0, "seconds")?,
+                    ..CheckpointSpec::default()
+                },
             };
             let oracle = Oracle::build(&config.arrivals.alphabet(), &config.exec, jobs)?;
             // `map_ordered` fans the campaigns out but keeps results in
@@ -351,16 +399,21 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
             let mut jsonl = String::new();
             println!(
-                "policy        jobs  makespan_s  mean_wait_s  p95_wait_s  mean_bsld  max_bsld  util"
+                "policy        jobs  failed  restarts  lost_s  makespan_s  mean_wait_s  \
+                 p95_wait_s  mean_bsld  max_bsld  util"
             );
             for outcome in outcomes {
                 let o = outcome.map_err(|panic| format!("campaign panicked: {panic}"))??;
                 let util = o.utilization();
                 let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
                 println!(
-                    "{:<12} {:>5}  {:>10.1}  {:>11.1}  {:>10.1}  {:>9.2}  {:>8.2}  {:>4.0}%",
+                    "{:<12} {:>5}  {:>6}  {:>8}  {:>6.0}  {:>10.1}  {:>11.1}  {:>10.1}  \
+                     {:>9.2}  {:>8.2}  {:>4.0}%",
                     o.policy,
                     o.jobs.len(),
+                    o.failed(),
+                    o.total_restarts(),
+                    o.total_lost_work(),
                     o.makespan,
                     o.mean_wait(),
                     o.p95_wait(),
@@ -388,6 +441,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 args.get_parse("queue-capacity", 64, "a positive queue depth")?;
             let deadline_ms: u64 =
                 args.get_parse("deadline-ms", 30_000, "a positive millisecond count")?;
+            let read_deadline_ms: u64 =
+                args.get_parse("read-deadline-ms", 5_000, "a positive millisecond count")?;
+            let fault_rate: f64 = args.get_parse("fault-rate", 0.0, "a fraction in [0,1)")?;
+            if !fault_rate.is_finite() || !(0.0..1.0).contains(&fault_rate) {
+                return Err(CliError::BadValue {
+                    option: "fault-rate".into(),
+                    value: fault_rate.to_string(),
+                    expected: "a fraction in [0,1)",
+                }
+                .into());
+            }
             for (option, value, expected) in [
                 ("workers", workers, "a positive worker count"),
                 ("cache-capacity", cache_capacity, "a positive entry count"),
@@ -395,6 +459,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 (
                     "deadline-ms",
                     deadline_ms as usize,
+                    "a positive millisecond count",
+                ),
+                (
+                    "read-deadline-ms",
+                    read_deadline_ms as usize,
                     "a positive millisecond count",
                 ),
             ] {
@@ -413,9 +482,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 cache_capacity,
                 queue_capacity,
                 deadline: std::time::Duration::from_millis(deadline_ms),
+                read_deadline: std::time::Duration::from_millis(read_deadline_ms),
+                fault_rate,
                 ..ServerConfig::default()
             })?;
             println!("listening on http://{}", server.addr());
+            if fault_rate > 0.0 {
+                println!(
+                    "CHAOS: injecting panics into ~{:.0}% of computations",
+                    fault_rate * 100.0
+                );
+            }
             println!("{workers} worker(s), cache {cache_capacity}, queue {queue_capacity}; POST /admin/shutdown to drain");
             server.join();
         }

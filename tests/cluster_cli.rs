@@ -132,6 +132,104 @@ fn campaign_jsonl_is_identical_across_jobs_counts() {
 }
 
 #[test]
+fn fault_campaign_jsonl_is_identical_across_jobs_counts() {
+    let dir = std::env::temp_dir().join(format!("pmemflow-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fault_flags = [
+        "--fault-seed",
+        "77",
+        "--mtbf",
+        "40",
+        "--repair",
+        "10",
+        "--degrade-mtbf",
+        "60",
+        "--degrade-duration",
+        "15",
+        "--job-fail-prob",
+        "0.1",
+        "--checkpoint-interval",
+        "3",
+        "--retry-budget",
+        "4",
+    ];
+    let mut outputs = Vec::new();
+    for jobs in ["1", "4"] {
+        let path = dir.join(format!("f{jobs}.jsonl"));
+        let mut args = vec![
+            "cluster",
+            "--nodes",
+            "2",
+            "--policy",
+            "all",
+            "--arrivals",
+            STREAM,
+            "--seed",
+            "42",
+            "--jobs",
+            jobs,
+            "--out",
+        ];
+        args.push(path.to_str().unwrap());
+        args.extend_from_slice(&fault_flags);
+        let (ok, stdout, stderr) = run(&args);
+        assert!(ok, "{stdout}{stderr}");
+        // The console table reports fault accounting columns.
+        assert!(
+            stdout.contains("restarts") && stdout.contains("lost_s"),
+            "{stdout}"
+        );
+        outputs.push(std::fs::read_to_string(&path).unwrap());
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "fault campaign JSONL depends on --jobs"
+    );
+    // Every job line carries the fault-accounting fields, and every
+    // submission is accounted as completed or failed.
+    let text = &outputs[0];
+    assert!(text.contains("\"outcome\":"), "{text}");
+    assert!(text.contains("\"restarts\":"), "{text}");
+    assert!(text.contains("\"lost_work_s\":"), "{text}");
+    assert!(text.contains("\"ckpt_overhead_s\":"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_seed_changes_the_campaign() {
+    let dir = std::env::temp_dir().join(format!("pmemflow-fseed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut outputs = Vec::new();
+    for fault_seed in ["7", "8"] {
+        let path = dir.join(format!("s{fault_seed}.jsonl"));
+        let (ok, stdout, stderr) = run(&[
+            "cluster",
+            "--nodes",
+            "2",
+            "--arrivals",
+            STREAM,
+            "--seed",
+            "42",
+            "--fault-seed",
+            fault_seed,
+            "--mtbf",
+            "30",
+            "--repair",
+            "10",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stdout}{stderr}");
+        outputs.push(std::fs::read_to_string(&path).unwrap());
+    }
+    assert_ne!(
+        outputs[0], outputs[1],
+        "different --fault-seed must change the failure trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_stream_runs_the_listed_jobs() {
     let dir = std::env::temp_dir().join(format!("pmemflow-trace-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
